@@ -1,0 +1,31 @@
+"""Shared helpers for the per-figure benchmark modules.
+
+Each module under ``benchmarks/`` regenerates one table or figure of the
+paper.  ``run_experiment`` executes the experiment exactly once under
+pytest-benchmark (so ``--benchmark-only`` runs and times every figure),
+prints the paper-style table, and returns the result for shape assertions.
+
+Set ``ARIA_BENCH_SCALE`` to trade fidelity for speed (larger = faster);
+experiments whose scale is pinned by their keyspace ratio ignore it.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale(default: int) -> int:
+    return int(os.environ.get("ARIA_BENCH_SCALE", default))
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    def runner(experiment, **kwargs):
+        result = benchmark.pedantic(
+            lambda: experiment(**kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

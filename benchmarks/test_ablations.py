@@ -1,0 +1,49 @@
+"""Extension ablations beyond the paper's figures (DESIGN.md Section 3 extras).
+
+A1 — hot-key locality: the address-ordered MT layout (Section IV) benefits from
+contiguous hot keys; scattering them (YCSB's scrambled zipfian) hurts the
+4 KB-granularity scheme far more than the node-granularity Secure Cache.
+
+A2 — semantic-aware swap: re-adding the costs SGX's EWB forces (encrypt on
+swap-out, write back clean pages) must only ever slow Aria down.
+"""
+
+from repro.bench.experiments import ablation_swap_semantics, ablation_zipf_locality
+
+from conftest import bench_scale
+
+
+def test_ablation_locality(run_experiment):
+    result = run_experiment(ablation_zipf_locality, scale=bench_scale(512),
+                            n_ops=2500)
+
+    def tp(scheme, dist):
+        return result.throughput(scheme=scheme, distribution=dist)
+
+    # Scattering hot keys hurts both schemes ...
+    assert tp("aria", "scrambled") <= tp("aria", "zipfian") * 1.02
+    assert tp("aria_nocache", "scrambled") < tp("aria_nocache", "zipfian")
+    # ... but the 4 KB-page scheme suffers far more than node-granularity.
+    loss_aria = tp("aria", "zipfian") / max(tp("aria", "scrambled"), 1.0)
+    loss_nocache = tp("aria_nocache", "zipfian") / \
+        max(tp("aria_nocache", "scrambled"), 1.0)
+    print(f"\nscramble slowdown: aria {loss_aria:.2f}x, "
+          f"nocache {loss_nocache:.2f}x")
+    assert loss_nocache > loss_aria
+
+
+def test_ablation_swap_semantics(run_experiment):
+    result = run_experiment(ablation_swap_semantics, scale=bench_scale(512),
+                            n_ops=2500)
+
+    def tp(variant):
+        return result.throughput(variant=variant)
+
+    base = tp("aria")
+    assert tp("+encrypt_on_swap") <= base
+    assert tp("+writeback_clean") <= base
+    assert tp("+both (EWB-like)") <= min(tp("+encrypt_on_swap"),
+                                         tp("+writeback_clean")) * 1.02
+    # Clean discards actually happen, so the write-back ablation has teeth.
+    row = result.where(variant="aria")[0]
+    assert row["clean_discards"] > 0

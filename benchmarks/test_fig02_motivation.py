@@ -1,0 +1,44 @@
+"""Fig 2: the motivation experiment — three design schemes vs keyspace size.
+
+Expected shape (paper Section III):
+* Baseline is fastest while the store fits the EPC, then collapses once
+  secure paging starts (paper: ~24 MB keyspace size).
+* Aria w/o Cache stays flat until the counters outgrow the EPC (~119 MB),
+  then degrades — but stays above ShieldStore at small keyspaces.
+* ShieldStore never pages but pays bucket-granularity verification.
+"""
+
+from repro.bench.experiments import fig2_motivation
+
+SIZES = [4, 16, 24, 64, 119, 128]
+
+
+def test_fig2(run_experiment):
+    result = run_experiment(
+        fig2_motivation, scale=256, n_ops=2500, keyspace_mb=SIZES
+    )
+
+    def tp(scheme, mb):
+        return result.throughput(scheme=scheme, keyspace_mb=mb)
+
+    def swaps(scheme, mb):
+        return result.where(scheme=scheme, keyspace_mb=mb)[0]["page_swaps"]
+
+    # Baseline wins while everything fits ...
+    assert tp("baseline", 4) > tp("shieldstore", 4)
+    assert tp("baseline", 4) > tp("aria_nocache", 4)
+    assert swaps("baseline", 4) == 0
+    # ... then collapses under secure paging at large keyspaces.
+    assert swaps("baseline", 128) > 1000
+    assert tp("baseline", 128) < tp("shieldstore", 128) / 3
+    assert tp("baseline", 128) < tp("baseline", 4) / 10
+
+    # Aria w/o Cache: flat and above ShieldStore until counters outgrow EPC.
+    assert tp("aria_nocache", 4) > tp("shieldstore", 4)
+    assert swaps("aria_nocache", 64) == 0
+    assert swaps("aria_nocache", 128) > 0
+    assert tp("aria_nocache", 128) < tp("aria_nocache", 64)
+
+    # ShieldStore degrades smoothly as buckets lengthen, and never pages.
+    assert tp("shieldstore", 128) < tp("shieldstore", 4)
+    assert swaps("shieldstore", 128) == 0

@@ -1,0 +1,57 @@
+"""Fig 9: YCSB grid with the hash-table index (Aria-H).
+
+Expected shape (paper Section VI-A):
+* Aria-H beats ShieldStore under every skewed cell (paper: +28..40 % by
+  value size) thanks to the Secure Cache absorbing MT verification.
+* ShieldStore is at least competitive with Aria under uniform at the
+  10 M-key point (paper: slightly better; Aria stops swapping and pays one
+  MT verification per op).
+* Aria w/o Cache sits between: hotness-aware paging helps under skew and
+  hurts badly under uniform.
+* Baseline is an order of magnitude below everything (paging on all data).
+"""
+
+from repro.bench.experiments import fig9_ycsb_hash
+
+from conftest import bench_scale
+
+
+def test_fig9(run_experiment):
+    result = run_experiment(fig9_ycsb_hash, scale=bench_scale(512), n_ops=2500)
+
+    def tp(scheme, dist, rd, size):
+        return result.throughput(scheme=scheme, distribution=dist,
+                                 read_ratio=rd, value_size=size)
+
+    for size in (16, 128, 512):
+        for rd in ("RD50", "RD95", "RD100"):
+            # Aria wins every skewed cell.
+            assert tp("aria", "zipfian", rd, size) > \
+                tp("shieldstore", "zipfian", rd, size), (rd, size)
+            assert tp("aria", "zipfian", rd, size) > \
+                tp("aria_nocache", "zipfian", rd, size), (rd, size)
+            # Baseline is far below Aria everywhere.
+            assert tp("baseline", "zipfian", rd, size) < \
+                tp("aria", "zipfian", rd, size) / 5
+
+    # ShieldStore is competitive under uniform at this keyspace (within the
+    # paper's 'slightly better' band: it must not lose by more than ~15 %,
+    # and should win at least one uniform cell).
+    uniform_wins = 0
+    for size in (16, 128, 512):
+        for rd in ("RD50", "RD95", "RD100"):
+            aria = tp("aria", "uniform", rd, size)
+            shield = tp("shieldstore", "uniform", rd, size)
+            assert shield > aria * 0.85, (rd, size)
+            if shield > aria:
+                uniform_wins += 1
+    assert uniform_wins >= 3
+
+    # Aria w/o Cache collapses under uniform (page thrash on counters).
+    assert tp("aria_nocache", "uniform", "RD95", 16) < \
+        tp("aria_nocache", "zipfian", "RD95", 16) / 2
+
+    # Throughput falls as values grow, for every scheme.
+    for scheme in ("aria", "shieldstore"):
+        assert tp(scheme, "zipfian", "RD95", 16) > \
+            tp(scheme, "zipfian", "RD95", 512)

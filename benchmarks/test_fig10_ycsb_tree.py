@@ -1,0 +1,57 @@
+"""Fig 10: YCSB grid with the B-tree index (Aria-T).
+
+Expected shape (paper Section VI-A):
+* Tree-based throughput is roughly an order of magnitude below the hash
+  index — every probed record must be verified *and decrypted* during the
+  descent, where Aria-H's key hint skips decryption.
+* Aria-T beats the tree Aria-w/o-Cache and the in-enclave Baseline under
+  skew.
+"""
+
+from repro.bench.experiments import fig9_ycsb_hash, fig10_ycsb_tree
+
+from conftest import bench_scale
+
+
+def test_fig10(run_experiment):
+    scale = bench_scale(1024)
+    result = run_experiment(fig10_ycsb_tree, scale=scale, n_ops=1200)
+
+    def tp(scheme, dist, rd, size):
+        return result.throughput(scheme=scheme, distribution=dist,
+                                 read_ratio=rd, value_size=size)
+
+    for rd in ("RD50", "RD95", "RD100"):
+        assert tp("aria", "zipfian", rd, 16) > \
+            tp("aria_nocache", "zipfian", rd, 16), rd
+        assert tp("aria", "zipfian", rd, 16) > \
+            tp("baseline", "zipfian", rd, 16), rd
+
+
+def test_tree_is_order_of_magnitude_slower_than_hash(benchmark):
+    # The paper: "B-tree-based index reduces throughput by about 10x."
+    from repro.bench.harness import (
+        build_aria,
+        load_and_run,
+        scaled_keys,
+        scaled_platform,
+    )
+    from repro.workloads.ycsb import YcsbWorkload
+
+    scale = bench_scale(1024)
+    n_keys = scaled_keys(scale)
+
+    def measure():
+        runs = {}
+        for index in ("hash", "btree"):
+            store = build_aria(n_keys=n_keys, platform=scaled_platform(scale),
+                               index=index)
+            workload = YcsbWorkload(n_keys=n_keys, read_ratio=0.95,
+                                    value_size=16, distribution="zipfian")
+            runs[index] = load_and_run(store, workload, 1200, scheme=index)
+        return runs
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = runs["hash"].throughput / runs["btree"].throughput
+    print(f"\nhash/btree throughput ratio: {ratio:.1f}x")
+    assert ratio > 4

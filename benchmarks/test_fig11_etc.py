@@ -1,0 +1,48 @@
+"""Fig 11: Facebook ETC workload, hash and tree panels, RD 0/50/95/100.
+
+Expected shape (paper Section VI-B):
+* Aria is best in every cell of both panels (paper: +32 % vs ShieldStore
+  on average; +205 % vs the naive tree baseline).
+* Aria w/o Cache beats ShieldStore at RD0 — ShieldStore's Put path pays
+  the extra root update — and loses as the read ratio rises.
+"""
+
+from repro.bench.experiments import fig11_etc
+
+from conftest import bench_scale
+
+
+def test_fig11(run_experiment):
+    result = run_experiment(fig11_etc, scale=bench_scale(512), n_ops=2500)
+
+    def tp(panel, scheme, rd):
+        return result.throughput(panel=panel, scheme=scheme, read_ratio=rd)
+
+    ratios = ("RD0", "RD50", "RD95", "RD100")
+
+    # Aria wins every hash cell and every tree cell.
+    gains = []
+    for rd in ratios:
+        assert tp("hashtable", "aria", rd) > tp("hashtable", "shieldstore", rd)
+        assert tp("hashtable", "aria", rd) > tp("hashtable", "aria_nocache", rd)
+        gains.append(tp("hashtable", "aria", rd)
+                     / tp("hashtable", "shieldstore", rd) - 1.0)
+        assert tp("tree", "aria", rd) > tp("tree", "aria_nocache", rd)
+        assert tp("tree", "aria", rd) > tp("tree", "baseline", rd)
+    # Average gain over ShieldStore is material (paper: ~32 %).
+    assert sum(gains) / len(gains) > 0.10
+
+    # Aria w/o Cache vs ShieldStore: its relative standing is best at RD0
+    # (ShieldStore's Put path pays the extra root update) and worst at
+    # RD100.  The paper sees an absolute crossover at RD0; at bench scale
+    # the zipf tail is fatter, so we assert the direction (EXPERIMENTS.md
+    # records the scale artifact).
+    standing_rd0 = tp("hashtable", "aria_nocache", "RD0") / \
+        tp("hashtable", "shieldstore", "RD0")
+    standing_rd100 = tp("hashtable", "aria_nocache", "RD100") / \
+        tp("hashtable", "shieldstore", "RD100")
+    assert standing_rd0 > standing_rd100
+    assert standing_rd100 < 1.0
+
+    # Tree panel sits far below the hash panel.
+    assert tp("tree", "aria", "RD95") < tp("hashtable", "aria", "RD95") / 3

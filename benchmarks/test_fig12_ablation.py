@@ -1,0 +1,52 @@
+"""Fig 12: the optimization ablation and the overhead of SGX (ETC).
+
+Expected shape (paper Section VI-C):
+* AriaBase collapses at RD0: one OCALL per allocating write
+  (paper: -62.7 % vs +HeapAlloc), and converges to +HeapAlloc at RD100
+  where no allocations happen.
+* +PIN and +FIFO each improve on +HeapAlloc; full Aria is best.
+* FIFO beats LRU (the hit penalty of LRU list surgery in EPC).
+* Aria w/o SGX bounds everything from above (paper: Aria ~25.7 % below).
+"""
+
+from repro.bench.experiments import fig12_ablation
+
+from conftest import bench_scale
+
+
+def test_fig12(run_experiment):
+    result = run_experiment(fig12_ablation, scale=bench_scale(512), n_ops=2500)
+
+    def tp(scheme, rd):
+        return result.throughput(scheme=scheme, read_ratio=rd)
+
+    # OCALL-per-malloc cripples the write path ...
+    assert tp("aria_base", "RD0") < tp("+heapalloc", "RD0") * 0.65
+    # ... and is irrelevant on a pure-read workload.
+    assert tp("aria_base", "RD100") > tp("+heapalloc", "RD100") * 0.9
+
+    # Each optimization helps; the full stack is best of the Aria variants.
+    for rd in ("RD0", "RD50", "RD95", "RD100"):
+        assert tp("+pin", rd) >= tp("+heapalloc", rd) * 0.98, rd
+        assert tp("+fifo", rd) > tp("+heapalloc", rd), rd   # FIFO > LRU
+        assert tp("aria", rd) >= tp("+heapalloc", rd), rd
+        # The unprotected store bounds everything from above.
+        assert tp("aria_wo_sgx", rd) > tp("aria", rd), rd
+
+    # The residual SGX hardware overhead is positive but bounded.  The
+    # paper measures ~25.7 %; our simulator charges the MEE latency premium
+    # only where enclave *data* structures are touched (not on all enclave
+    # code/stack traffic), so the measured overhead is smaller — see
+    # EXPERIMENTS.md for the discussion.
+    overheads = [
+        1.0 - tp("aria", rd) / tp("aria_wo_sgx", rd)
+        for rd in ("RD0", "RD50", "RD95", "RD100")
+    ]
+    average = sum(overheads) / len(overheads)
+    print(f"\nSGX hardware overhead vs no-SGX: {average:.1%}")
+    assert 0.02 < average < 0.60
+
+    # For context: stripping Aria's own protection entirely (plain KV, no
+    # crypto, no MT) is far faster than merely removing SGX — the bulk of
+    # the cost is the protection work itself.
+    assert tp("plain_kv", "RD95") > tp("aria_wo_sgx", "RD95") * 2

@@ -1,0 +1,43 @@
+"""Fig 13: keyspace sweep 119 MB -> 2 GB (EPC stays fixed).
+
+Expected shape (paper Section VI-D1):
+* Everything degrades as the keyspace grows, but Aria degrades least: its
+  verification cost is fixed by the continuous MT layout + pinning, while
+  ShieldStore's buckets lengthen (fixed EPC-bound bucket count) and
+  Aria-w/o-Cache's paging turns pathological.
+* The Aria-vs-ShieldStore gap therefore widens with keyspace (paper:
+  +104 % skew / +67 % ETC / +44 % uniform at 2 GB).
+* Aria w/o Cache beats ShieldStore at the small end and loses at the
+  large end (the Fig 13 crossover).
+"""
+
+from repro.bench.experiments import fig13_keyspace
+
+SIZES = [119, 512, 2048]
+
+
+def test_fig13(run_experiment):
+    result = run_experiment(fig13_keyspace, scale=2048, n_ops=2000,
+                            keyspace_mb=SIZES)
+
+    def tp(panel, scheme, mb):
+        return result.throughput(panel=panel, scheme=scheme, keyspace_mb=mb)
+
+    small, large = SIZES[0], SIZES[-1]
+    for panel in ("uniform", "skew", "etc"):
+        # Aria leads at the 2 GB point in every panel.
+        assert tp(panel, "aria", large) > tp(panel, "shieldstore", large)
+        assert tp(panel, "aria", large) > tp(panel, "aria_nocache", large)
+        # The Aria/ShieldStore gap grows with the keyspace.
+        gap_small = tp(panel, "aria", small) / tp(panel, "shieldstore", small)
+        gap_large = tp(panel, "aria", large) / tp(panel, "shieldstore", large)
+        assert gap_large > gap_small, panel
+        # ShieldStore degrades with keyspace (longer buckets).
+        assert tp(panel, "shieldstore", large) < \
+            tp(panel, "shieldstore", small)
+
+    # The Aria-w/o-Cache crossover: competitive small, collapsed large.
+    assert tp("skew", "aria_nocache", large) < \
+        tp("skew", "shieldstore", large)
+    assert tp("skew", "aria_nocache", small) > \
+        tp("skew", "aria_nocache", large) * 1.5

@@ -1,0 +1,31 @@
+"""Fig 16(a): multi-tenant — EPC split across 2 / 4 enclaves.
+
+Expected shape (paper Section VI-D5):
+* Aria outperforms ShieldStore at every (tenants, keyspace) point.
+* The gap widens as tenants and keyspace grow (paper: +24/26 % at 10 M,
+  +44/67 % at 50 M) — shrinking per-tenant EPC hurts ShieldStore's bucket
+  count linearly while Aria's cache degrades gracefully.
+"""
+
+from repro.bench.experiments import fig16a_multitenant
+
+
+def test_fig16a(run_experiment):
+    result = run_experiment(fig16a_multitenant, scale=1024, n_ops=2000)
+
+    def tp(scheme, tenants, keyspace):
+        return result.throughput(scheme=scheme, tenants=tenants,
+                                 keyspace=keyspace)
+
+    for tenants in (2, 4):
+        for keyspace in ("10M", "30M", "50M"):
+            assert tp("aria", tenants, keyspace) > \
+                tp("shieldstore", tenants, keyspace), (tenants, keyspace)
+
+    # The advantage grows with the keyspace at fixed tenancy.
+    for tenants in (2, 4):
+        gain_small = tp("aria", tenants, "10M") / \
+            tp("shieldstore", tenants, "10M")
+        gain_large = tp("aria", tenants, "50M") / \
+            tp("shieldstore", tenants, "50M")
+        assert gain_large > gain_small, tenants

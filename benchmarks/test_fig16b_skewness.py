@@ -1,0 +1,37 @@
+"""Fig 16(b): skewness sweep 0.8 -> 1.2.
+
+Expected shape (paper Section VI-D6):
+* Higher skew raises the Secure Cache hit ratio, so Aria's advantage over
+  ShieldStore grows with skewness (paper: up to +96 % at 1.2).
+* ShieldStore is essentially skew-insensitive (hotness-unaware).
+"""
+
+from repro.bench.experiments import fig16b_skewness
+
+from conftest import bench_scale
+
+SKEWS = (0.8, 0.99, 1.2)
+
+
+def test_fig16b(run_experiment):
+    result = run_experiment(fig16b_skewness, scale=bench_scale(512),
+                            n_ops=2500, skews=SKEWS)
+
+    def tp(scheme, skew):
+        return result.throughput(scheme=scheme, skewness=round(skew, 4))
+
+    # Aria's hit ratio and throughput rise with skew.
+    hit_low = result.where(scheme="aria", skewness=0.8)[0]["hit_ratio"]
+    hit_high = result.where(scheme="aria", skewness=1.2)[0]["hit_ratio"]
+    assert hit_high > hit_low
+    assert tp("aria", 1.2) > tp("aria", 0.8)
+
+    # The Aria-vs-ShieldStore gap widens with skew and is large at 1.2.
+    gain_low = tp("aria", 0.8) / tp("shieldstore", 0.8)
+    gain_high = tp("aria", 1.2) / tp("shieldstore", 1.2)
+    assert gain_high > gain_low
+    assert gain_high > 1.2
+
+    # ShieldStore barely cares about skew (within 25 %).
+    shield = [tp("shieldstore", s) for s in SKEWS]
+    assert max(shield) < min(shield) * 1.25

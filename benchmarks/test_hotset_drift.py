@@ -1,0 +1,41 @@
+"""Extension bench: hotset drift (the workload-spike pattern of Bodik et al.).
+
+The paper evaluates stationary distributions; real caches also face the hot
+set *moving*.  After each drift the Secure Cache holds yesterday's
+celebrities: every request misses until FIFO turns the cache over.  The
+bench measures Aria under increasingly frequent drift against drift-blind
+ShieldStore.
+
+Expected shape: Aria degrades as drift frequency rises but stays above
+ShieldStore while drifts are infrequent enough for the cache to re-converge
+(it re-fills within ~cache-size misses); ShieldStore is flat.
+"""
+
+from repro.bench.experiments import ablation_hotset_drift
+
+from conftest import bench_scale
+
+
+def test_hotset_drift(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_hotset_drift(scale=bench_scale(512)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+
+    def tp(scheme, period):
+        return result.throughput(scheme=scheme, drift_period=period)
+
+    # Aria: monotone degradation as drift accelerates.
+    aria_curve = [tp("aria", p) for p in ("stationary", "8000", "2000", "500")]
+    assert aria_curve[0] >= aria_curve[1] * 0.97
+    assert aria_curve[1] > aria_curve[3]
+
+    # ShieldStore doesn't care (flat within 10 %).
+    shield_curve = [tp("shieldstore", p)
+                    for p in ("stationary", "8000", "2000", "500")]
+    assert max(shield_curve) < min(shield_curve) * 1.10
+
+    # Aria still wins while the hot set is stable for thousands of ops.
+    assert tp("aria", "8000") > tp("shieldstore", "8000")

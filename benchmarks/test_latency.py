@@ -1,0 +1,34 @@
+"""Extension bench: per-op latency distribution (a view the paper omits).
+
+See :func:`repro.bench.experiments.ablation_latency`.  Secure Cache trades
+the *mean* for the *tail*: hot keys verify in one EPC lookup (fast median),
+but a cold key pays path verification plus eviction (slow p99);
+ShieldStore's bucket-granularity verification is comparatively flat.
+"""
+
+from repro.bench.experiments import ablation_latency
+
+from conftest import bench_scale
+
+
+def test_latency_distribution(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_latency(scale=bench_scale(512)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    aria = result.runs["aria"]
+    shield = result.runs["shieldstore"]
+
+    # Aria's median (hot-key) latency clearly beats ShieldStore's.
+    assert aria.percentile(50) < shield.percentile(50)
+
+    # Aria's tail spreads much wider than its median (miss path);
+    # ShieldStore is comparatively flat (bucket walk every time).
+    aria_spread = aria.percentile(99) / aria.percentile(50)
+    shield_spread = shield.percentile(99) / shield.percentile(50)
+    assert aria_spread > shield_spread
+
+    # Throughput ordering still favours Aria despite the heavier tail.
+    assert aria.throughput > shield.throughput

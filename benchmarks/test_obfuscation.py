@@ -1,0 +1,33 @@
+"""Extension bench: the price of blurring key-access frequencies (Section VII).
+
+See :func:`repro.bench.experiments.ablation_obfuscation` for the experiment.
+Expected shape: linear-ish throughput decay in the padding degree d; even
+d=4 (which spreads reads over dozens of buckets per request) keeps Aria
+within striking distance of ShieldStore's unpadded baseline.
+"""
+
+from repro.bench.experiments import ablation_obfuscation
+
+from conftest import bench_scale
+
+DUMMIES = (0, 1, 2, 4, 8)
+
+
+def test_obfuscation_price(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_obfuscation(scale=bench_scale(512)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+
+    def tp(d):
+        return result.throughput(scheme="aria", dummy_reads=d)
+
+    # Monotone decay in the padding degree.
+    curve = [tp(d) for d in DUMMIES]
+    for faster, slower in zip(curve, curve[1:]):
+        assert faster >= slower * 0.98
+    # The decay is material but not catastrophic at d=4.
+    assert tp(4) > tp(0) * 0.5
+    assert tp(8) < tp(0)

@@ -1,0 +1,35 @@
+"""Extension bench: ECALL amortization in client-server mode (Section II-A).
+
+See :func:`repro.bench.experiments.ablation_server_batching`.  Expected
+shape: throughput rises steeply from batch size 1 and saturates once the
+per-request share of the ~10 K-cycle ECALL is small against the KV
+operation itself.
+"""
+
+from repro.bench.experiments import ablation_server_batching
+
+from conftest import bench_scale
+
+N_REQUESTS = 4096
+
+
+def test_server_batching(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_server_batching(scale=bench_scale(512),
+                                         n_requests=N_REQUESTS),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+
+    def tp(batch):
+        return result.throughput(batch_size=batch)
+
+    # ECALL counts amortize exactly.
+    assert result.where(batch_size=1)[0]["ecalls"] == N_REQUESTS
+    assert result.where(batch_size=64)[0]["ecalls"] == N_REQUESTS // 64
+
+    # Throughput rises steeply then saturates.
+    assert tp(8) > tp(1) * 1.8
+    assert tp(64) > tp(8)
+    assert tp(64) < tp(8) * 1.6  # diminishing returns

@@ -1,0 +1,20 @@
+"""Table I: qualitative comparison + measured EPC occupation."""
+
+from repro.bench.experiments import table1_comparison
+
+from conftest import bench_scale
+
+
+def test_table1(run_experiment):
+    result = run_experiment(table1_comparison, scale=bench_scale(512))
+    schemes = {row["scheme"]: row for row in result.rows}
+    assert set(schemes) == {"ShieldStore", "Aria w/o Cache", "Aria"}
+    # Qualitative columns, as printed in the paper.
+    assert schemes["ShieldStore"]["hotness"] == "unaware"
+    assert schemes["Aria"]["granularity"] == "KV pair"
+    assert schemes["Aria"]["indexes"] == "hash/tree"
+    # ShieldStore's root array matches its published 64 MB budget.
+    assert 50 <= schemes["ShieldStore"]["epc_bytes_paper_equiv_MB"] <= 70
+    # Every scheme fits the paper's 91 MB EPC.
+    for row in schemes.values():
+        assert row["epc_bytes_paper_equiv_MB"] <= 91

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario: an ordered secure index with range scans (Aria-T).
+
+Hash tables cannot answer "all readings between 09:00 and 09:05".  Aria's
+decoupled design (paper Section V-C) lets the same security machinery — counters,
+Merkle tree, Secure Cache — sit under a B-tree, at the cost the paper
+quantifies in Fig 10 (every probed record is verified *and decrypted*).
+
+This script stores time-stamped sensor readings in Aria-T, runs point and
+range queries, and then audits the whole tree.
+
+Run:  python examples/ordered_index_scan.py
+"""
+
+from repro import AriaConfig, AriaStore
+from repro.sgx.costs import SgxPlatform
+
+N_READINGS = 2_000
+
+
+def reading_key(minute: int) -> bytes:
+    # Lexicographic order == chronological order.
+    return b"sensor-7/t%08d" % minute
+
+
+def main() -> None:
+    store = AriaStore(
+        AriaConfig(
+            index="btree",
+            btree_order=15,
+            initial_counters=4096,
+            secure_cache_bytes=256 * 1024,
+            pin_levels=3,
+        ),
+        platform=SgxPlatform(epc_bytes=2 << 20),
+    )
+
+    for minute in range(N_READINGS):
+        value = b"%08.3f" % (20.0 + (minute % 700) / 100.0)
+        store.put(reading_key(minute), value)
+    print(f"stored {len(store)} encrypted readings "
+          f"(tree height {store.index.height})")
+
+    # Point query.
+    print("reading @ minute 1234:", store.get(reading_key(1234)).decode())
+
+    # Range scan: five minutes of readings, in order, each verified.
+    window = store.range_scan(reading_key(540), reading_key(545))
+    print(f"\nreadings 540..544 ({len(window)} rows):")
+    for key, value in window:
+        print(f"  {key.decode()} -> {value.decode()}")
+
+    # Integrity audit: verifies order, uniform depth, and the entry count
+    # against the enclave's records — any unauthorized deletion or reorder
+    # of the untrusted tree raises.
+    store.index.audit()
+    print("\nfull-tree audit passed: order, depth and counts verified")
+
+    meter = store.enclave.meter
+    gets = meter.events["op_get"]
+    print(f"\nsimulated cycles/op across the session: "
+          f"{meter.cycles / max(1, gets + meter.events['op_put']):,.0f}")
+    print("(an order of magnitude above Aria-H, as the paper's Fig 10 "
+          "shows: tree descents decrypt every probed record)")
+
+
+if __name__ == "__main__":
+    main()

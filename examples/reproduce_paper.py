@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's tables and figures from the command line.
+
+Run:  python examples/reproduce_paper.py            # quick subset
+      python examples/reproduce_paper.py fig9 fig14 # specific experiments
+      python examples/reproduce_paper.py --all      # everything (minutes)
+
+Each experiment prints a text table mirroring the corresponding figure of
+"Aria: Tolerating Skewed Workloads in Secure In-memory Key-value Stores"
+(ICDE 2021).  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+QUICK_SUBSET = ["table1", "fig2", "fig12", "fig14", "fig16b"]
+
+
+def main(argv: list) -> int:
+    if "--all" in argv:
+        names = list(ALL_EXPERIMENTS)
+    elif argv:
+        unknown = [name for name in argv if name not in ALL_EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)}")
+            print(f"available: {', '.join(ALL_EXPERIMENTS)}")
+            return 1
+        names = argv
+    else:
+        names = QUICK_SUBSET
+        print(f"(quick subset: {', '.join(names)}; use --all for everything)")
+
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        print()
+        print(result.render())
+        print(f"[{name} took {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

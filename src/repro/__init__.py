@@ -1,0 +1,40 @@
+"""Reproduction of *Aria: Tolerating Skewed Workloads in Secure In-memory
+Key-value Stores* (ICDE 2021).
+
+Public API highlights:
+
+* :class:`repro.core.AriaStore` — the secure KV store (hash or B-tree index)
+* :class:`repro.core.AriaConfig` — every knob the paper sweeps or ablates
+* :class:`repro.cache.SecureCache` — the paper's core contribution
+* :mod:`repro.baselines` — ShieldStore, Aria w/o Cache, EPC Baseline
+* :mod:`repro.workloads` — YCSB and Facebook-ETC generators
+* :mod:`repro.bench` — one experiment per table/figure in the paper
+"""
+
+from repro.core.config import AriaConfig
+from repro.core.store import AriaStore
+from repro.errors import (
+    AriaError,
+    CapacityError,
+    DeletionError,
+    IntegrityError,
+    KeyNotFoundError,
+    ReplayError,
+)
+from repro.sgx.costs import CostModel, SgxPlatform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AriaConfig",
+    "AriaError",
+    "AriaStore",
+    "CapacityError",
+    "CostModel",
+    "DeletionError",
+    "IntegrityError",
+    "KeyNotFoundError",
+    "ReplayError",
+    "SgxPlatform",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""User-space heap allocation for untrusted memory."""
+
+from repro.alloc.heap import Allocator, HeapAllocator, OcallAllocator
+
+__all__ = ["Allocator", "HeapAllocator", "OcallAllocator"]

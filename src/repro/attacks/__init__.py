@@ -1,0 +1,23 @@
+"""Attack suite: the adversary of the paper's threat model, made executable."""
+
+from repro.attacks.primitives import UntrustedAttacker
+from repro.attacks.scenarios import (
+    AttackOutcome,
+    replay_stale_record,
+    snoop_learns_only_ciphertext,
+    swap_slot_pointers,
+    tamper_merkle_node,
+    tamper_record_body,
+    unauthorized_delete,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "UntrustedAttacker",
+    "replay_stale_record",
+    "snoop_learns_only_ciphertext",
+    "swap_slot_pointers",
+    "tamper_merkle_node",
+    "tamper_record_body",
+    "unauthorized_delete",
+]

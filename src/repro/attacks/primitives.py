@@ -1,0 +1,48 @@
+"""Attacker primitives: what a malicious OS/hypervisor can do.
+
+The threat model (paper Section II-B): everything outside the enclave — the OS,
+VMM, BIOS, devices — is adversarial.  The attacker has unrestricted read and
+write access to untrusted memory but cannot touch EPC contents or enclave
+registers.  These primitives operate directly on the
+:class:`repro.sgx.memory.UntrustedMemory` space, with no cycle charges and no
+enclave involvement.
+"""
+
+from __future__ import annotations
+
+from repro.sgx.memory import UntrustedMemory
+
+
+class UntrustedAttacker:
+    """A malicious privileged adversary outside the enclave."""
+
+    def __init__(self, untrusted: UntrustedMemory):
+        self._mem = untrusted
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Observe untrusted bytes (ciphertext and metadata are visible)."""
+        return self._mem.snoop(addr, size)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Overwrite untrusted bytes arbitrarily."""
+        self._mem.tamper(addr, data)
+
+    def flip_bit(self, addr: int, bit: int = 0) -> None:
+        """Flip one bit — the minimal integrity violation."""
+        byte = self._mem.snoop(addr, 1)[0]
+        self._mem.tamper(addr, bytes([byte ^ (1 << bit)]))
+
+    def snapshot(self, addr: int, size: int) -> bytes:
+        """Record bytes for a later replay."""
+        return self._mem.snoop(addr, size)
+
+    def replay(self, addr: int, snapshot: bytes) -> None:
+        """Restore previously captured (stale but once-valid) bytes."""
+        self._mem.tamper(addr, snapshot)
+
+    def swap(self, addr_a: int, addr_b: int, size: int) -> None:
+        """Exchange two equal-sized untrusted regions (Fig 7's move)."""
+        a = self._mem.snoop(addr_a, size)
+        b = self._mem.snoop(addr_b, size)
+        self._mem.tamper(addr_a, b)
+        self._mem.tamper(addr_b, a)

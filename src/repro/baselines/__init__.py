@@ -1,0 +1,21 @@
+"""The schemes Aria is evaluated against (paper Section VI, Compared Schemes).
+
+1. **Baseline** — whole KV store in the enclave, hardware paging.
+2. **Aria w/o Cache** — counters in the (paged) enclave heap, no Merkle tree.
+3. **ShieldStore** — per-bucket Merkle roots in the EPC, bucket-granularity
+   verification.
+4. **PlainKv** — Aria without SGX (Fig 12's protection-overhead reference).
+"""
+
+from repro.baselines.aria_nocache import AriaNoCacheStore, PagedCounterManager
+from repro.baselines.enclave_baseline import EnclaveBaselineStore
+from repro.baselines.plain_kv import PlainKvStore
+from repro.baselines.shieldstore import ShieldStore
+
+__all__ = [
+    "AriaNoCacheStore",
+    "EnclaveBaselineStore",
+    "PagedCounterManager",
+    "PlainKvStore",
+    "ShieldStore",
+]

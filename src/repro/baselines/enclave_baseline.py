@@ -1,0 +1,142 @@
+"""Baseline: the whole KV store inside the enclave (paper Fig 2's 'Baseline').
+
+The naive port: hash table, keys and values all live in the enclave heap.
+No crypto is needed — SGX hardware protects EPC contents transparently (the
+MEE cost is folded into the higher EPC access latency).  The price is that
+the working set is the *entire store*, so once it outgrows the EPC, secure
+paging fires on nearly every access and throughput collapses — the cliff at
+~24 MB keyspace in Fig 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.crypto.keys import KeyMaterial
+from repro.errors import KeyNotFoundError
+from repro.sgx.costs import PAGE_SIZE, SgxPlatform
+from repro.sgx.enclave import Enclave
+from repro.sgx.meter import MeterPause
+
+_ENTRY_OVERHEAD = 8 + 2 + 2  # next pointer + length fields
+_ALLOC_GRANULARITY = 64      # in-enclave malloc rounds to size classes
+
+
+class EnclaveBaselineStore:
+    """Chained hash table placed entirely in (paged) enclave memory."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        *,
+        n_buckets: int = 4096,
+        platform: Optional[SgxPlatform] = None,
+        seed: int = 0,
+    ):
+        platform = platform or SgxPlatform()
+        heap_pages = max(1, platform.epc_bytes // PAGE_SIZE)
+        self.enclave = Enclave(
+            platform,
+            keys=KeyMaterial.from_seed(seed),
+            paged_heap_pages=heap_pages,
+        )
+        self._n_buckets = n_buckets
+        heap = self.enclave.paged_heap
+        self._bucket_base = heap.alloc(n_buckets * 8)
+        # Virtual-address bookkeeping: entry contents live in a dict keyed by
+        # their enclave-virtual address; paging costs come from touch().
+        self._heads: dict[int, int] = {}
+        self._entries: dict[int, tuple[int, bytes, bytes]] = {}
+        self._n_entries = 0
+
+    def _bucket_of(self, key: bytes) -> int:
+        return self.enclave.hash_key(key) % self._n_buckets
+
+    def _touch_head(self, bucket: int) -> int:
+        self.enclave.paged_heap.touch(self._bucket_base + bucket * 8, 8)
+        return self._heads.get(bucket, 0)
+
+    def _touch_entry(self, addr: int) -> tuple[int, bytes, bytes]:
+        next_addr, key, value = self._entries[addr]
+        self.enclave.paged_heap.touch(
+            addr, _ENTRY_OVERHEAD + len(key) + len(value)
+        )
+        return next_addr, key, value
+
+    # -- public API --------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes:
+        bucket = self._bucket_of(key)
+        addr = self._touch_head(bucket)
+        while addr:
+            next_addr, stored_key, value = self._touch_entry(addr)
+            if self.enclave.compare(stored_key, key):
+                self.enclave.meter.count("op_get")
+                return value
+            addr = next_addr
+        raise KeyNotFoundError(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        bucket = self._bucket_of(key)
+        addr = self._touch_head(bucket)
+        while addr:
+            next_addr, stored_key, old_value = self._touch_entry(addr)
+            if self.enclave.compare(stored_key, key):
+                self._entries[addr] = (next_addr, key, value)
+                self.enclave.paged_heap.touch(
+                    addr, _ENTRY_OVERHEAD + len(key) + len(value), write=True
+                )
+                self.enclave.meter.count("op_put")
+                return
+            addr = next_addr
+        raw = _ENTRY_OVERHEAD + len(key) + len(value)
+        size = -(-raw // _ALLOC_GRANULARITY) * _ALLOC_GRANULARITY
+        new_addr = self.enclave.paged_heap.alloc(size)
+        old_head = self._heads.get(bucket, 0)
+        self._entries[new_addr] = (old_head, key, value)
+        self.enclave.paged_heap.touch(new_addr, size, write=True)
+        self._heads[bucket] = new_addr
+        self.enclave.paged_heap.touch(self._bucket_base + bucket * 8, 8,
+                                      write=True)
+        self._n_entries += 1
+        self.enclave.meter.count("op_put")
+
+    def delete(self, key: bytes) -> None:
+        bucket = self._bucket_of(key)
+        addr = self._touch_head(bucket)
+        prev = None
+        while addr:
+            next_addr, stored_key, _ = self._touch_entry(addr)
+            if self.enclave.compare(stored_key, key):
+                if prev is None:
+                    self._heads[bucket] = next_addr
+                else:
+                    prev_next, prev_key, prev_value = self._entries[prev]
+                    self._entries[prev] = (next_addr, prev_key, prev_value)
+                del self._entries[addr]
+                self._n_entries -= 1
+                self.enclave.meter.count("op_delete")
+                return
+            prev = addr
+            addr = next_addr
+        raise KeyNotFoundError(key)
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    def keys(self) -> Iterator[bytes]:
+        for addr in list(self._entries):
+            yield self._entries[addr][1]
+
+    def load(self, pairs) -> None:
+        with MeterPause(self.enclave.meter):
+            for key, value in pairs:
+                self.put(key, value)
+        self.enclave.paged_heap.prefault()
+
+    def cache_stats(self) -> dict:
+        return {"page_swaps": self.enclave.meter.events["page_swap"]}
+
+    def epc_report(self) -> dict:
+        return self.enclave.epc.usage_report()

@@ -1,0 +1,152 @@
+"""Aria w/o SGX (Fig 12's upper bound): the same store, no protection.
+
+A chained hash table in regular untrusted memory with no encryption, no
+MACs, no enclave boundary — what Aria would cost on a machine without SGX.
+The gap between this and Aria (the paper measures ~25.7 %) is the residual
+protection overhead once paging and OCALLs are engineered away.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.alloc.heap import HeapAllocator
+from repro.errors import KeyNotFoundError
+from repro.sgx.costs import SgxPlatform
+from repro.sgx.enclave import Enclave
+from repro.sgx.meter import MeterPause
+
+_PREFIX = 8 + 4 + 2 + 2  # next, hint, k_len, v_len
+
+
+class PlainKvStore:
+    """Unprotected hash-table KV store (no SGX, no crypto)."""
+
+    name = "plain"
+
+    def __init__(
+        self,
+        *,
+        n_buckets: int = 4096,
+        platform: Optional[SgxPlatform] = None,
+        seed: int = 0,
+    ):
+        self.enclave = Enclave(platform or SgxPlatform())
+        self._n_buckets = n_buckets
+        self._bucket_base = self.enclave.untrusted.alloc(n_buckets * 8)
+        with MeterPause(self.enclave.meter):
+            self._allocator = HeapAllocator(self.enclave)
+        self._n_entries = 0
+
+    def _bucket_slot(self, key: bytes) -> tuple[int, int]:
+        digest = self.enclave.hash_key(key)
+        bucket = digest % self._n_buckets
+        return self._bucket_base + bucket * 8, digest & 0xFFFFFFFF
+
+    def _read_ptr(self, slot: int) -> int:
+        return int.from_bytes(self.enclave.read_untrusted(slot, 8), "little")
+
+    def _read_entry(self, addr: int):
+        prefix = self.enclave.read_untrusted(addr, _PREFIX)
+        next_ptr = int.from_bytes(prefix[0:8], "little")
+        hint = int.from_bytes(prefix[8:12], "little")
+        k_len = int.from_bytes(prefix[12:14], "little")
+        v_len = int.from_bytes(prefix[14:16], "little")
+        body = self.enclave.read_untrusted(addr + _PREFIX, k_len + v_len)
+        return next_ptr, hint, body[:k_len], body[k_len:]
+
+    def _entry_bytes(self, next_ptr: int, hint: int, key: bytes,
+                     value: bytes) -> bytes:
+        return (
+            next_ptr.to_bytes(8, "little")
+            + hint.to_bytes(4, "little")
+            + len(key).to_bytes(2, "little")
+            + len(value).to_bytes(2, "little")
+            + key
+            + value
+        )
+
+    # -- public API -------------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes:
+        slot, want_hint = self._bucket_slot(key)
+        addr = self._read_ptr(slot)
+        while addr:
+            next_ptr, hint, stored_key, value = self._read_entry(addr)
+            if hint == want_hint and self.enclave.compare(stored_key, key):
+                self.enclave.meter.count("op_get")
+                return value
+            addr = next_ptr
+        raise KeyNotFoundError(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        slot, want_hint = self._bucket_slot(key)
+        addr = self._read_ptr(slot)
+        prev_slot = slot
+        while addr:
+            next_ptr, hint, stored_key, old_value = self._read_entry(addr)
+            if hint == want_hint and self.enclave.compare(stored_key, key):
+                entry = self._entry_bytes(next_ptr, hint, key, value)
+                old_size = _PREFIX + len(stored_key) + len(old_value)
+                if len(entry) <= self._allocator.block_size_of(old_size):
+                    self.enclave.write_untrusted(addr, entry)
+                else:
+                    new_addr = self._allocator.alloc(len(entry))
+                    self.enclave.write_untrusted(new_addr, entry)
+                    self.enclave.write_untrusted(
+                        prev_slot, new_addr.to_bytes(8, "little")
+                    )
+                    self._allocator.free(addr, old_size)
+                self.enclave.meter.count("op_put")
+                return
+            prev_slot = addr
+            addr = next_ptr
+        old_head = self._read_ptr(slot)
+        entry = self._entry_bytes(old_head, want_hint, key, value)
+        new_addr = self._allocator.alloc(len(entry))
+        self.enclave.write_untrusted(new_addr, entry)
+        self.enclave.write_untrusted(slot, new_addr.to_bytes(8, "little"))
+        self._n_entries += 1
+        self.enclave.meter.count("op_put")
+
+    def delete(self, key: bytes) -> None:
+        slot, want_hint = self._bucket_slot(key)
+        addr = self._read_ptr(slot)
+        prev_slot = slot
+        while addr:
+            next_ptr, hint, stored_key, value = self._read_entry(addr)
+            if hint == want_hint and self.enclave.compare(stored_key, key):
+                self.enclave.write_untrusted(
+                    prev_slot, next_ptr.to_bytes(8, "little")
+                )
+                self._allocator.free(
+                    addr, _PREFIX + len(stored_key) + len(value)
+                )
+                self._n_entries -= 1
+                self.enclave.meter.count("op_delete")
+                return
+            prev_slot = addr
+            addr = next_ptr
+        raise KeyNotFoundError(key)
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    def keys(self) -> Iterator[bytes]:
+        for bucket in range(self._n_buckets):
+            addr = self._read_ptr(self._bucket_base + bucket * 8)
+            while addr:
+                next_ptr, _, stored_key, _ = self._read_entry(addr)
+                yield stored_key
+                addr = next_ptr
+
+    def load(self, pairs) -> None:
+        with MeterPause(self.enclave.meter):
+            for key, value in pairs:
+                self.put(key, value)
+
+    def cache_stats(self) -> dict:
+        return {}
+
+    def epc_report(self) -> dict:
+        return self.enclave.epc.usage_report()

@@ -1,0 +1,265 @@
+"""ShieldStore reproduction (Kim et al., EuroSys 2019) — the paper's main rival.
+
+Design, per the paper's Section III and Fig 1(a):
+
+* The whole store — hash table, KV pairs, per-entry counters and MACs —
+  lives in untrusted memory.
+* One Merkle root **per hash bucket** is kept in the EPC (ShieldStore sizes
+  the root array to the EPC: 4 M roots = 64 MB on the paper's machine).
+* Every operation performs **bucket-granularity verification**.  Quoting
+  Section III: "For every KV operation (Put/Get), it needs to read the whole
+  bucket's MAC values, and then compute and verify the MAC value with the
+  corresponding root stored in the EPC.  Besides, it has to update the root
+  for Put requests."  So a Get reads every entry's *stored MAC* (not its
+  body), folds them into the bucket MAC, compares with the EPC root, and
+  then recomputes the full MAC of the one candidate entry it decrypts.
+* A key hint per entry avoids decrypting non-matching entries (the hint
+  idea Aria-H borrows).
+
+The two properties every figure turns on are reproduced: per-op cost grows
+with bucket length (keyspace / n_buckets), and hotness is irrelevant because
+hot and cold keys share buckets and the root must always be re-derived.
+
+Entry layout (MAC kept with the header so the verification walk is one
+contiguous read per entry)::
+
+    next (8) | hint (4) | counter (16) | k_len (2) | v_len (2) | MAC (16) | ct
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+from repro.alloc.heap import HeapAllocator
+from repro.crypto.keys import KeyMaterial
+from repro.errors import IntegrityError, KeyNotFoundError
+from repro.sgx.costs import SgxPlatform
+from repro.sgx.enclave import Enclave
+from repro.sgx.meter import MeterPause
+
+_ENTRY_HEADER = struct.Struct("<QI16sHH16s")  # next, hint, ctr, k_len, v_len, mac
+_NULL = 0
+ROOT_BYTES = 16
+
+
+class ShieldStore:
+    """Hash-table KV store with per-bucket Merkle roots in the EPC."""
+
+    name = "shieldstore"
+    EPC_CONSUMER = "shieldstore_roots"
+
+    def __init__(
+        self,
+        *,
+        n_buckets: int,
+        platform: Optional[SgxPlatform] = None,
+        enclave: Optional[Enclave] = None,
+        seed: int = 0,
+    ):
+        self.enclave = enclave or Enclave(
+            platform or SgxPlatform(), keys=KeyMaterial.from_seed(seed)
+        )
+        self._n_buckets = n_buckets
+        self.enclave.epc.reserve(self.EPC_CONSUMER, n_buckets * ROOT_BYTES)
+        self._roots: list[bytes] = [b"\x00" * ROOT_BYTES] * n_buckets
+        self._bucket_base = self.enclave.untrusted.alloc(n_buckets * 8)
+        chunk = max(4096, min(4 * 1024 * 1024,
+                              self.enclave.platform.epc_bytes // 16))
+        with MeterPause(self.enclave.meter):
+            self._allocator = HeapAllocator(self.enclave, chunk_size=chunk)
+        self._n_entries = 0
+        self._counter_seq = 0
+
+    # -- entry serialization ------------------------------------------------------
+
+    def _entry_mac(self, counter: bytes, ciphertext: bytes, k_len: int,
+                   v_len: int) -> bytes:
+        message = counter + k_len.to_bytes(2, "little") + \
+            v_len.to_bytes(2, "little") + ciphertext
+        return self.enclave.mac(message)
+
+    def _entry_bytes(self, next_ptr: int, hint: int, counter: bytes,
+                     ciphertext: bytes, k_len: int, v_len: int) -> bytes:
+        mac = self._entry_mac(counter, ciphertext, k_len, v_len)
+        header = _ENTRY_HEADER.pack(next_ptr, hint, counter, k_len, v_len, mac)
+        return header + ciphertext
+
+    def _entry_size(self, k_len: int, v_len: int) -> int:
+        return _ENTRY_HEADER.size + k_len + v_len
+
+    def _read_header(self, addr: int):
+        raw = self.enclave.read_untrusted(addr, _ENTRY_HEADER.size)
+        return _ENTRY_HEADER.unpack(raw)
+
+    def _read_ciphertext(self, addr: int, k_len: int, v_len: int) -> bytes:
+        return self.enclave.read_untrusted(addr + _ENTRY_HEADER.size,
+                                           k_len + v_len)
+
+    # -- bucket verification (the paper's bucket-granularity walk) ------------------
+
+    def _bucket_slot(self, key: bytes) -> tuple[int, int, int]:
+        digest = self.enclave.hash_key(key)
+        bucket = digest % self._n_buckets
+        return bucket, self._bucket_base + bucket * 8, digest & 0xFFFFFFFF
+
+    def _walk_and_verify(self, bucket: int, head_slot: int) -> list:
+        """Read every entry's header+MAC, fold MACs into the root, compare.
+
+        Returns header tuples ``(addr, next, hint, counter, k_len, v_len,
+        stored_mac)``; ciphertexts are NOT read here — only candidates get
+        their bodies read and their MACs recomputed.
+        """
+        entries = []
+        macs = []
+        addr = int.from_bytes(self.enclave.read_untrusted(head_slot, 8),
+                              "little")
+        while addr != _NULL:
+            next_ptr, hint, counter, k_len, v_len, mac = self._read_header(addr)
+            macs.append(mac)
+            entries.append((addr, next_ptr, hint, counter, k_len, v_len, mac))
+            addr = next_ptr
+        root = self.enclave.mac(b"".join(macs)) if macs else b"\x00" * ROOT_BYTES
+        self.enclave.epc_touch(ROOT_BYTES)
+        if root != self._roots[bucket]:
+            raise IntegrityError(
+                f"ShieldStore bucket {bucket} root mismatch: replay or "
+                "tampering detected"
+            )
+        return entries
+
+    def _open_candidate(self, addr: int, counter: bytes, k_len: int,
+                        v_len: int, stored_mac: bytes) -> bytes:
+        """Read a candidate's body, recompute its MAC, decrypt."""
+        ciphertext = self._read_ciphertext(addr, k_len, v_len)
+        computed = self._entry_mac(counter, ciphertext, k_len, v_len)
+        if computed != stored_mac:
+            raise IntegrityError(
+                f"ShieldStore entry at {addr:#x} failed verification"
+            )
+        return self.enclave.decrypt(counter, ciphertext)
+
+    def _recompute_root(self, bucket: int, head_slot: int) -> None:
+        """Re-fold the bucket's stored MACs into the EPC root (Put path)."""
+        macs = []
+        addr = int.from_bytes(self.enclave.read_untrusted(head_slot, 8),
+                              "little")
+        while addr != _NULL:
+            next_ptr, _, _, _, _, mac = self._read_header(addr)
+            macs.append(mac)
+            addr = next_ptr
+        root = self.enclave.mac(b"".join(macs)) if macs else b"\x00" * ROOT_BYTES
+        self.enclave.epc_touch(ROOT_BYTES)
+        self._roots[bucket] = root
+
+    # -- crypto helpers ------------------------------------------------------------------
+
+    def _next_counter(self) -> bytes:
+        self._counter_seq += 1
+        return self._counter_seq.to_bytes(16, "little")
+
+    # -- public API ---------------------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes:
+        bucket, head_slot, want_hint = self._bucket_slot(key)
+        entries = self._walk_and_verify(bucket, head_slot)
+        for addr, _, hint, counter, k_len, v_len, mac in entries:
+            if hint != want_hint:
+                continue
+            plaintext = self._open_candidate(addr, counter, k_len, v_len, mac)
+            if self.enclave.compare(plaintext[:k_len], key):
+                self.enclave.meter.count("op_get")
+                return plaintext[k_len:]
+        raise KeyNotFoundError(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        bucket, head_slot, want_hint = self._bucket_slot(key)
+        entries = self._walk_and_verify(bucket, head_slot)
+        for addr, next_ptr, hint, counter, k_len, v_len, mac in entries:
+            if hint != want_hint:
+                continue
+            plaintext = self._open_candidate(addr, counter, k_len, v_len, mac)
+            if not self.enclave.compare(plaintext[:k_len], key):
+                continue
+            new_counter = self._next_counter()
+            new_ct = self.enclave.encrypt(new_counter, key + value)
+            new_entry = self._entry_bytes(next_ptr, hint, new_counter,
+                                          new_ct, len(key), len(value))
+            old_size = self._entry_size(k_len, v_len)
+            if len(new_entry) <= self._allocator.block_size_of(old_size):
+                self.enclave.write_untrusted(addr, new_entry)
+            else:
+                self._replace_entry(head_slot, addr, old_size, new_entry)
+            self._recompute_root(bucket, head_slot)
+            self.enclave.meter.count("op_put")
+            return
+        # New key: insert at the bucket head.
+        counter = self._next_counter()
+        ciphertext = self.enclave.encrypt(counter, key + value)
+        old_head = int.from_bytes(
+            self.enclave.read_untrusted(head_slot, 8), "little"
+        )
+        entry = self._entry_bytes(old_head, want_hint, counter, ciphertext,
+                                  len(key), len(value))
+        addr = self._allocator.alloc(len(entry))
+        self.enclave.write_untrusted(addr, entry)
+        self.enclave.write_untrusted(head_slot, addr.to_bytes(8, "little"))
+        self._recompute_root(bucket, head_slot)
+        self._n_entries += 1
+        self.enclave.meter.count("op_put")
+
+    def _replace_entry(self, head_slot: int, old_addr: int, old_size: int,
+                       new_entry: bytes) -> None:
+        """Swap an entry for a larger one, preserving its chain position."""
+        new_addr = self._allocator.alloc(len(new_entry))
+        self.enclave.write_untrusted(new_addr, new_entry)
+        slot = head_slot
+        current = int.from_bytes(self.enclave.read_untrusted(slot, 8), "little")
+        while current != old_addr:
+            slot = current  # next field is at offset 0
+            current = int.from_bytes(
+                self.enclave.read_untrusted(slot, 8), "little"
+            )
+        self.enclave.write_untrusted(slot, new_addr.to_bytes(8, "little"))
+        self._allocator.free(old_addr, old_size)
+
+    def delete(self, key: bytes) -> None:
+        bucket, head_slot, want_hint = self._bucket_slot(key)
+        entries = self._walk_and_verify(bucket, head_slot)
+        slot = head_slot
+        for addr, next_ptr, hint, counter, k_len, v_len, mac in entries:
+            if hint == want_hint:
+                plaintext = self._open_candidate(addr, counter, k_len, v_len,
+                                                 mac)
+                if self.enclave.compare(plaintext[:k_len], key):
+                    self.enclave.write_untrusted(
+                        slot, next_ptr.to_bytes(8, "little")
+                    )
+                    self._allocator.free(addr, self._entry_size(k_len, v_len))
+                    self._recompute_root(bucket, head_slot)
+                    self._n_entries -= 1
+                    self.enclave.meter.count("op_delete")
+                    return
+            slot = addr
+        raise KeyNotFoundError(key)
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    def load(self, pairs) -> None:
+        """Unmetered bulk load (experiment setup phase)."""
+        with MeterPause(self.enclave.meter):
+            for key, value in pairs:
+                self.put(key, value)
+
+    def keys(self) -> Iterator[bytes]:
+        for bucket in range(self._n_buckets):
+            head_slot = self._bucket_base + bucket * 8
+            for addr, _, _, counter, k_len, v_len, mac in \
+                    self._walk_and_verify(bucket, head_slot):
+                plaintext = self._open_candidate(addr, counter, k_len, v_len,
+                                                 mac)
+                yield plaintext[:k_len]
+
+    def epc_report(self) -> dict:
+        return self.enclave.epc.usage_report()

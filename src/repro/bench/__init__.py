@@ -1,0 +1,42 @@
+"""Benchmark harness: scheme builders, workload runner, per-figure experiments."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import (
+    DEFAULT_SCALE,
+    PAPER_EPC_BYTES,
+    PAPER_KEYSPACE,
+    SCHEME_BUILDERS,
+    RunResult,
+    aria_cache_budget,
+    build_aria,
+    build_aria_nocache,
+    build_baseline,
+    build_plain,
+    build_shieldstore,
+    load_and_run,
+    run_operations,
+    scaled_keys,
+    scaled_platform,
+)
+from repro.bench.report import ExperimentResult, format_ops
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEFAULT_SCALE",
+    "PAPER_EPC_BYTES",
+    "PAPER_KEYSPACE",
+    "SCHEME_BUILDERS",
+    "ExperimentResult",
+    "RunResult",
+    "aria_cache_budget",
+    "build_aria",
+    "build_aria_nocache",
+    "build_baseline",
+    "build_plain",
+    "build_shieldstore",
+    "format_ops",
+    "load_and_run",
+    "run_operations",
+    "scaled_keys",
+    "scaled_platform",
+]

@@ -1,0 +1,84 @@
+"""Plain-text tables in the shape the paper reports its figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def format_ops(value: float) -> str:
+    """Human throughput formatting: 1.23M, 456k, 789."""
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.0f}k"
+    return f"{value:.0f}"
+
+
+@dataclass
+class ExperimentResult:
+    """One table/figure reproduction: rows of measurements plus notes."""
+
+    exp_id: str
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+    def where(self, **filters: Any) -> list:
+        """Rows matching all given column=value filters."""
+        return [
+            row for row in self.rows
+            if all(row.get(k) == v for k, v in filters.items())
+        ]
+
+    def throughput(self, **filters: Any) -> float:
+        """The 'throughput ops/s' of the single row matching the filters."""
+        rows = self.where(**filters)
+        if len(rows) != 1:
+            raise KeyError(f"{len(rows)} rows match {filters}")
+        return rows[0]["throughput ops/s"]
+
+    def render(self) -> str:
+        header = [str(c) for c in self.columns]
+        body = []
+        for row in self.rows:
+            rendered = []
+            for col in self.columns:
+                value = row.get(col, "")
+                if isinstance(value, float):
+                    if col.endswith("ops/s") or "throughput" in col:
+                        rendered.append(format_ops(value))
+                    else:
+                        rendered.append(f"{value:.3g}")
+                else:
+                    rendered.append(str(value))
+            body.append(rendered)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:  # pragma: no cover - console convenience
+        print()
+        print(self.render())

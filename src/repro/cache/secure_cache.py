@@ -1,0 +1,481 @@
+"""Secure Cache: software-managed, fine-grained MT-node caching in the EPC.
+
+This is the paper's core contribution (Section IV).  Instead of hardware secure
+paging (4 KB pages mixing hot and cold metadata) or ShieldStore's per-bucket
+trees (bucket-granularity verification on every request), Secure Cache tracks
+*individual Merkle-tree nodes*:
+
+* **Hit path** — if the leaf node holding a counter is cached (or its level is
+  pinned), the counter is trusted immediately: KV-pair-granularity protection
+  with zero MT verification.
+* **Caching (miss path)** — the node is read from untrusted memory and
+  verified along its path *up to the first cached/pinned ancestor* (or the
+  EPC-resident root), then inserted.  Only the requested node is inserted;
+  ancestors are verified transiently (Section IV-B's walkthrough).
+* **Eviction** — a victim chosen by the policy (FIFO by default) is written
+  back only if dirty: its fresh MAC is propagated into its parent (swapping
+  the parent in if needed, exactly as Section IV-B describes), and the node body
+  returns to untrusted memory **in plaintext** (semantic-aware optimization:
+  integrity suffices for metadata, skip the encryption SGX paging would
+  force).  Clean victims are discarded with no write-back at all (the second
+  optimization — impossible with SGX's EWB).
+* **Level pinning** — the top-k levels live permanently in the EPC, bounding
+  the worst-case verification depth at O(h-k-1) (Section IV-E).
+* **Stop-swap** — when the windowed hit ratio drops below 70 % (uniform
+  workloads), swapping stops: the cache flushes, its EPC space is repurposed
+  to pin as many upper levels as fit, and every access verifies the leaf
+  against the pinned layer transiently.
+
+The invariant behind the proof sketch (Section IV-B): *the newest information of
+every leaf always resides in at least one EPC-resident node* — a cached
+dirty node, a pinned node holding its fresh MAC, or the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError, ReplayError
+from repro.merkle.layout import COUNTER_SIZE, MAC_SIZE
+from repro.merkle.tree import MerkleTree
+from repro.cache.policies import EvictionPolicy, make_policy
+from repro.cache.stats import CacheStats
+from repro.sgx.enclave import Enclave
+
+#: Modeled per-entry cache metadata resident in EPC: an 8-byte packed
+#: (level, index) key, a FIFO queue slot, and the dirty bit.  Bigger MT
+#: nodes amortize this better — the space-utilization effect that makes
+#: throughput rise with arity in Fig 15.
+ENTRY_METADATA_BYTES = 16
+
+NodeKey = tuple  # (level, index)
+
+
+@dataclass
+class CacheEntry:
+    data: bytearray
+    dirty: bool = False
+
+
+class SecureCache:
+    """EPC-resident cache of Merkle-tree nodes with verified swap-in/out."""
+
+    EPC_CACHE = "secure_cache"
+    EPC_PINNED = "mt_pinned"
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        tree: MerkleTree,
+        *,
+        capacity_bytes: int,
+        policy: str = "fifo",
+        pin_levels: int = 3,
+        stop_swap_enabled: bool = True,
+        stop_swap_threshold: float = 0.70,
+        stop_swap_window: int = 4096,
+        stop_swap_patience: int = 1,
+        swap_encrypt: bool = False,
+        writeback_clean: bool = False,
+    ):
+        self._enclave = enclave
+        self._tree = tree
+        layout = tree.layout
+        pin_levels = min(pin_levels, layout.n_levels)
+        self._pinned_levels = layout.pinned_level_set(pin_levels)
+        self._capacity_bytes = capacity_bytes
+        self._entry_footprint = layout.node_size + ENTRY_METADATA_BYTES
+        self.max_entries = max(0, capacity_bytes // self._entry_footprint)
+        self._entries: dict[NodeKey, CacheEntry] = {}
+        self._policy: EvictionPolicy = make_policy(policy)
+        self.stats = CacheStats(window=stop_swap_window,
+                                threshold=stop_swap_threshold,
+                                patience=stop_swap_patience)
+        self._stop_swap_enabled = stop_swap_enabled
+        self._swap_encrypt = swap_encrypt
+        self._writeback_clean = writeback_clean
+        self.swapping = self.max_entries > 0
+
+        enclave.epc.reserve(self.EPC_CACHE, capacity_bytes)
+        pinned_bytes = layout.pinned_bytes(pin_levels)
+        enclave.epc.reserve(self.EPC_PINNED, pinned_bytes)
+        self._pinned_reserved = pinned_bytes
+        self._pinned: dict[int, list[bytearray]] = {}
+        self._pin_levels_now(self._pinned_levels)
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def pinned_levels(self) -> frozenset:
+        return frozenset(self._pinned_levels)
+
+    @property
+    def cached_nodes(self) -> int:
+        return len(self._entries)
+
+    def is_cached(self, level: int, index: int) -> bool:
+        return (level, index) in self._entries
+
+    # -- pinning ----------------------------------------------------------------
+
+    def _pin_levels_now(self, levels: frozenset) -> None:
+        """Load the given levels into the EPC, verified top-down.
+
+        The top level checks against the root; every lower pinned node checks
+        against its (already pinned) parent, so a tampered tree cannot sneak
+        into the pinned store.
+        """
+        layout = self._tree.layout
+        for level in sorted(levels, reverse=True):
+            nodes: list[bytearray] = []
+            for index in range(layout.nodes_at_level(level)):
+                node = self._tree.read_node(level, index)
+                if level == layout.top_level:
+                    self._tree.check_against_root(node)
+                else:
+                    parent_level, parent_index, offset = layout.parent_of(level, index)
+                    parent = self._trusted_node_view(parent_level, parent_index)
+                    if parent is None:
+                        # Parent level not pinned: fall back to path verify.
+                        self._verified_node_bytes(level, index)
+                    else:
+                        computed = self._tree.node_mac(node)
+                        if computed != bytes(parent[offset : offset + MAC_SIZE]):
+                            raise ReplayError(
+                                f"pinned node (level {level}, {index}) failed "
+                                "verification during pinning"
+                            )
+                nodes.append(bytearray(node))
+            self._pinned[level] = nodes
+
+    # -- trusted node lookup -------------------------------------------------------
+
+    def _trusted_node_view(self, level: int, index: int) -> Optional[bytearray]:
+        """Return EPC-resident bytes for a node, or None if not resident.
+
+        Does not update policy metadata — used for ancestor lookups during
+        verification, where the paper stops the walk at the first cached node.
+        """
+        if level in self._pinned:
+            self._enclave.epc_touch(MAC_SIZE)
+            return self._pinned[level][index]
+        entry = self._entries.get((level, index))
+        if entry is not None:
+            self._enclave.epc_touch(MAC_SIZE)
+            return entry.data
+        return None
+
+    # -- transient verification (Section IV-B caching walkthrough) ----------------------
+
+    def _verified_node_bytes(self, level: int, index: int) -> bytes:
+        """Read a node from untrusted memory, verified up to the first
+        EPC-resident ancestor (cached, pinned, or the root)."""
+        layout = self._tree.layout
+        node = self._tree.read_node(level, index)
+        if level == layout.top_level:
+            self._tree.check_against_root(node)
+            return node
+        computed = self._tree.node_mac(node)
+        parent_level, parent_index, offset = layout.parent_of(level, index)
+        parent = self._trusted_node_view(parent_level, parent_index)
+        if parent is None:
+            parent = self._verified_node_bytes(parent_level, parent_index)
+        stored = bytes(parent[offset : offset + MAC_SIZE])
+        if computed != stored:
+            raise ReplayError(
+                f"Merkle node (level {level}, index {index}) failed "
+                "verification: replay or tampering detected"
+            )
+        return node
+
+    # -- insertion and eviction -------------------------------------------------------
+
+    def _insert(self, level: int, index: int, data: bytearray, *, dirty: bool,
+                locked: frozenset) -> Optional[CacheEntry]:
+        """Place a verified node into the cache, evicting as needed.
+
+        Returns the entry, or None if no victim could be freed (tiny caches).
+        """
+        key = (level, index)
+        while len(self._entries) >= self.max_entries:
+            if not self._evict_one(locked | {key}):
+                return None
+            if key in self._entries:
+                # A nested eviction inserted this very node (e.g. two dirty
+                # leaves sharing a parent).  The nested copy is fresher — it
+                # already absorbed the sibling's MAC — so use it as-is.
+                return self._entries[key]
+        entry = CacheEntry(data=data, dirty=dirty)
+        self._entries[key] = entry
+        self._policy.on_insert(key)
+        self._enclave.epc_touch(self._tree.layout.node_size)
+        return entry
+
+    def _evict_one(self, locked: frozenset) -> bool:
+        """Evict one victim; returns False if everything is locked."""
+        victim = self._policy.victim(locked)
+        if victim is None:
+            return False
+        entry = self._entries.pop(victim)
+        self._policy.on_remove(victim)
+        self.stats.evictions += 1
+        self._enclave.meter.count("cache_evict")
+        level, index = victim
+        if entry.dirty:
+            self._writeback(level, index, entry, locked)
+        else:
+            # Clean discard: no write-back at all.  SGX's EWB cannot do this
+            # (Section IV-C); the ablation flag restores EWB-like behaviour.
+            self.stats.clean_discards += 1
+            if self._writeback_clean:
+                self._write_node_out(level, index, entry.data)
+        return True
+
+    def _writeback(self, level: int, index: int, entry: CacheEntry,
+                   locked: frozenset) -> None:
+        """Propagate a dirty victim's MAC to its parent, then write it out."""
+        layout = self._tree.layout
+        new_mac = self._tree.node_mac(bytes(entry.data))
+        if level == layout.top_level:
+            self._tree.set_root(new_mac)
+        else:
+            parent_level, parent_index, offset = layout.parent_of(level, index)
+            parent = self._trusted_node_view(parent_level, parent_index)
+            if parent is None and self.swapping:
+                # Paper path: swap the parent in, then update the cached copy.
+                verified = bytearray(
+                    self._verified_node_bytes(parent_level, parent_index)
+                )
+                inserted = self._insert(
+                    parent_level, parent_index, verified, dirty=False,
+                    locked=locked | {(level, index)},
+                )
+                parent = inserted.data if inserted is not None else None
+            if parent is not None:
+                parent[offset : offset + MAC_SIZE] = new_mac
+                parent_entry = self._entries.get((parent_level, parent_index))
+                if parent_entry is not None:
+                    parent_entry.dirty = True
+                self._enclave.epc_touch(MAC_SIZE)
+            else:
+                # Cache too small to host the parent: propagate through
+                # untrusted memory instead (same machinery as stop-swap writes).
+                self._propagate_mac_untrusted(parent_level, parent_index,
+                                              offset, new_mac)
+        self._write_node_out(level, index, entry.data)
+        self.stats.writebacks += 1
+        self._enclave.meter.count("cache_writeback")
+
+    def _write_node_out(self, level: int, index: int, data: bytearray) -> None:
+        """Write a node body back to untrusted memory (plaintext by default)."""
+        if self._swap_encrypt:
+            # Ablation: charge the encryption SGX paging would have forced.
+            self._enclave.meter.charge_event(
+                "enc_bytes",
+                self._enclave.costs.enc_cost(len(data)),
+                len(data),
+            )
+        self._tree.write_node(level, index, bytes(data))
+
+    def _propagate_mac_untrusted(self, level: int, index: int,
+                                 slot_offset: int, child_mac: bytes) -> None:
+        """Update an *uncached* ancestor chain in untrusted memory.
+
+        Verifies each node before modifying it, updates the child-MAC slot,
+        writes it back, and recurses until an EPC-resident node (pinned,
+        cached, or the root) absorbs the change.
+        """
+        layout = self._tree.layout
+        resident = self._trusted_node_view(level, index)
+        if resident is not None:
+            resident[slot_offset : slot_offset + MAC_SIZE] = child_mac
+            entry = self._entries.get((level, index))
+            if entry is not None:
+                entry.dirty = True
+            self._enclave.epc_touch(MAC_SIZE)
+            return
+        node = bytearray(self._verified_node_bytes(level, index))
+        node[slot_offset : slot_offset + MAC_SIZE] = child_mac
+        self._tree.write_node(level, index, bytes(node))
+        new_mac = self._tree.node_mac(bytes(node))
+        if level == layout.top_level:
+            self._tree.set_root(new_mac)
+            return
+        parent_level, parent_index, offset = layout.parent_of(level, index)
+        self._propagate_mac_untrusted(parent_level, parent_index, offset, new_mac)
+
+    # -- the counter API used by Aria -----------------------------------------------
+
+    def read_counter(self, counter_id: int) -> bytes:
+        """Return the verified 16-byte counter for ``counter_id``."""
+        layout = self._tree.layout
+        leaf_index, offset = layout.counter_slot(counter_id)
+        node = self._leaf_for_access(leaf_index)
+        return bytes(node[offset : offset + COUNTER_SIZE])
+
+    def write_counter(self, counter_id: int, value: bytes) -> None:
+        """Store a new counter value, keeping the MT consistent."""
+        if len(value) != COUNTER_SIZE:
+            raise ConfigurationError(f"counter must be {COUNTER_SIZE} bytes")
+        layout = self._tree.layout
+        leaf_index, offset = layout.counter_slot(counter_id)
+        if 0 in self._pinned:
+            node = self._pinned[0][leaf_index]
+            node[offset : offset + COUNTER_SIZE] = value
+            self._enclave.epc_touch(COUNTER_SIZE)
+            return
+        entry = self._entries.get((0, leaf_index))
+        if entry is not None:
+            self.stats.record_hit()
+            self._enclave.meter.count("cache_hit")
+            self._charge_hit()
+            self._policy.on_hit((0, leaf_index))
+            entry.data[offset : offset + COUNTER_SIZE] = value
+            entry.dirty = True
+            self._enclave.epc_touch(COUNTER_SIZE)
+            return
+        self.stats.record_miss()
+        self._enclave.meter.count("cache_miss")
+        node = bytearray(self._verified_node_bytes(0, leaf_index))
+        node[offset : offset + COUNTER_SIZE] = value
+        if self.swapping:
+            inserted = self._insert(0, leaf_index, node, dirty=True,
+                                    locked=frozenset())
+            if inserted is not None:
+                self._maybe_stop_swap()
+                return
+        # Not cacheable: write through untrusted memory and propagate the MAC.
+        self._tree.write_node(0, leaf_index, bytes(node))
+        new_mac = self._tree.node_mac(bytes(node))
+        if layout.top_level == 0:
+            self._tree.set_root(new_mac)
+        else:
+            parent_level, parent_index, poffset = layout.parent_of(0, leaf_index)
+            self._propagate_mac_untrusted(parent_level, parent_index, poffset,
+                                          new_mac)
+        self._maybe_stop_swap()
+
+    def increment_counter(self, counter_id: int) -> bytes:
+        """Verify, increment, and store a counter; returns the new value.
+
+        This is the pre-encryption step of every Put (Section V-D step 3).
+        """
+        current = int.from_bytes(self.read_counter(counter_id), "little")
+        new_value = ((current + 1) % (1 << 128)).to_bytes(COUNTER_SIZE, "little")
+        self.write_counter(counter_id, new_value)
+        return new_value
+
+    def _leaf_for_access(self, leaf_index: int) -> bytes:
+        if 0 in self._pinned:
+            self._enclave.epc_touch(COUNTER_SIZE)
+            return self._pinned[0][leaf_index]
+        entry = self._entries.get((0, leaf_index))
+        if entry is not None:
+            self.stats.record_hit()
+            self._enclave.meter.count("cache_hit")
+            self._charge_hit()
+            self._policy.on_hit((0, leaf_index))
+            self._enclave.epc_touch(COUNTER_SIZE)
+            return entry.data
+        self.stats.record_miss()
+        self._enclave.meter.count("cache_miss")
+        node = self._verified_node_bytes(0, leaf_index)
+        if self.swapping:
+            self._insert(0, leaf_index, bytearray(node), dirty=False,
+                         locked=frozenset())
+        self._maybe_stop_swap()
+        return node
+
+    def _charge_hit(self) -> None:
+        """Hit penalty: the policy's EPC metadata operations (Section IV-E)."""
+        ops = self._policy.hit_metadata_ops
+        if ops:
+            self._enclave.meter.charge(
+                ops * self._enclave.costs.access_cost(16, in_epc=True)
+            )
+
+    def flush_to_untrusted(self) -> None:
+        """Write every EPC-resident node back so untrusted memory is whole.
+
+        Used before sealing for an enclave shutdown: cached entries and
+        pinned levels are written out, then the tree above the leaves is
+        rebuilt so the untrusted state verifies against the refreshed root
+        alone.  The cache keeps operating afterwards (entries become clean).
+        """
+        for (level, index), entry in self._entries.items():
+            self._tree.write_node(level, index, bytes(entry.data))
+            entry.dirty = False
+        for level, nodes in self._pinned.items():
+            for index, node in enumerate(nodes):
+                self._tree.write_node(level, index, bytes(node))
+        self._tree.rebuild_above_leaves()
+        # Pinned copies of rebuilt levels must mirror the fresh MACs.
+        for level in list(self._pinned):
+            if level > 0:
+                self._pinned[level] = [
+                    bytearray(self._tree.read_node(level, index))
+                    for index in range(self._tree.layout.nodes_at_level(level))
+                ]
+        # Cached inner nodes may now hold stale MAC slots; drop them (clean).
+        for key in [k for k in self._entries if k[0] > 0]:
+            self._entries.pop(key)
+            self._policy.on_remove(key)
+
+    def verify_leaf(self, leaf_index: int) -> None:
+        """Audit helper: check one leaf node's integrity without caching it.
+
+        EPC-resident copies (cached or pinned) are authoritative by
+        construction; everything else is verified along the Merkle path.
+        """
+        if 0 in self._pinned or (0, leaf_index) in self._entries:
+            return
+        self._verified_node_bytes(0, leaf_index)
+
+    # -- stop-swap (Section IV-E) ----------------------------------------------------------
+
+    def _maybe_stop_swap(self) -> None:
+        if (
+            self.swapping
+            and self._stop_swap_enabled
+            and self.stats.stop_swap_recommended
+        ):
+            self.stop_swapping()
+
+    def stop_swapping(self) -> None:
+        """Flush the cache and repurpose its EPC space for level pinning."""
+        if not self.swapping:
+            return
+        while self._entries:
+            if not self._evict_one(frozenset()):
+                break
+        self.swapping = False
+        # Pin as many additional upper levels as the freed space allows.
+        layout = self._tree.layout
+        budget = self._capacity_bytes + self._pinned_reserved
+        best_pin = len(self._pinned_levels)
+        for pin in range(len(self._pinned_levels) + 1, layout.n_levels + 1):
+            if layout.pinned_bytes(pin) <= budget:
+                best_pin = pin
+            else:
+                break
+        new_levels = layout.pinned_level_set(best_pin)
+        extra = new_levels - self._pinned_levels
+        if extra:
+            # Repurpose the cache reservation for the new pinned levels.
+            extra_bytes = layout.pinned_bytes(best_pin) - self._pinned_reserved
+            self._enclave.epc.release(self.EPC_CACHE, min(extra_bytes,
+                                                          self._capacity_bytes))
+            self._enclave.epc.reserve(self.EPC_PINNED, extra_bytes)
+            self._pinned_reserved += extra_bytes
+            self._pin_levels_now(frozenset(extra))
+            self._pinned_levels = new_levels
+        self._enclave.meter.count("stop_swap")
+
+    # -- reporting -------------------------------------------------------------------
+
+    def epc_bytes_in_use(self) -> int:
+        """Bytes of EPC this cache and its pinned levels occupy."""
+        return (
+            len(self._entries) * self._entry_footprint + self._pinned_reserved
+        )

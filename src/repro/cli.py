@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — a guided tour: store, ops, attack detection.
+* ``workload``  — one measured run of a configurable workload/scheme.
+* ``bench``     — regenerate the paper's tables/figures.
+* ``attack``    — stage every threat-model attack and report detection.
+* ``inspect``   — show how a store would be sized at a given scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import AriaConfig, AriaStore
+    from repro.sgx.costs import SgxPlatform
+
+    store = AriaStore(
+        AriaConfig(index=args.index, initial_counters=4096,
+                   secure_cache_bytes=256 * 1024, n_buckets=512),
+        platform=SgxPlatform(epc_bytes=2 << 20),
+    )
+    store.put(b"hello", b"world")
+    print("put hello -> world")
+    print("get hello ->", store.get(b"hello").decode())
+    print("cache stats:", store.cache_stats())
+    print("EPC usage:", dict(store.epc_report()))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.bench.harness import (
+        SCHEME_BUILDERS,
+        load_and_run,
+        scaled_platform,
+    )
+    from repro.bench.report import format_ops
+    from repro.workloads.etc import EtcWorkload
+    from repro.workloads.ycsb import YcsbWorkload
+
+    if args.scheme not in SCHEME_BUILDERS:
+        print(f"unknown scheme {args.scheme!r}; choose from "
+              f"{sorted(SCHEME_BUILDERS)}", file=sys.stderr)
+        return 1
+    platform = scaled_platform(args.scale)
+    store = SCHEME_BUILDERS[args.scheme](n_keys=args.keys, platform=platform)
+    if args.workload == "etc":
+        workload = EtcWorkload(n_keys=args.keys, read_ratio=args.read_ratio,
+                               seed=args.seed)
+    else:
+        workload = YcsbWorkload(
+            n_keys=args.keys, read_ratio=args.read_ratio,
+            value_size=args.value_size, distribution=args.workload,
+            skew=args.skew, seed=args.seed,
+        )
+    started = time.time()
+    run = load_and_run(store, workload, args.ops, scheme=args.scheme)
+    wall = time.time() - started
+    print(f"scheme        {args.scheme}")
+    print(f"workload      {args.workload} rd={args.read_ratio} "
+          f"keys={args.keys} ops={args.ops}")
+    print(f"throughput    {format_ops(run.throughput)} ops/s (simulated)")
+    print(f"cycles/op     {run.cycles_per_op:,.0f}")
+    if run.hit_ratio is not None:
+        print(f"hit ratio     {run.hit_ratio:.1%}")
+    interesting = {k: v for k, v in sorted(run.events.items())
+                   if v and k in ("page_swap", "ecall", "ocall", "mt_verify",
+                                  "cache_hit", "cache_miss", "cache_evict")}
+    print(f"events        {interesting}")
+    print(f"wall clock    {wall:.1f}s")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        print("nothing to run; pass experiment names or --all\n"
+              f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 1
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 1
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        print()
+        print(result.render())
+        print(f"[{name}: {time.time() - started:.1f}s]")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro import AriaConfig, AriaStore
+    from repro.attacks import (
+        replay_stale_record,
+        snoop_learns_only_ciphertext,
+        swap_slot_pointers,
+        tamper_merkle_node,
+        tamper_record_body,
+        unauthorized_delete,
+    )
+    from repro.sgx.costs import SgxPlatform
+
+    def fresh():
+        store = AriaStore(
+            AriaConfig(index="hash", n_buckets=64, initial_counters=2048,
+                       secure_cache_bytes=64 * 1024, pin_levels=1,
+                       stop_swap_enabled=False),
+            platform=SgxPlatform(epc_bytes=2 << 20),
+        )
+        for i in range(200):
+            store.put(f"key-{i:04d}".encode(), f"value-{i}".encode())
+        return store
+
+    scenarios = [
+        ("tamper-record", lambda s: tamper_record_body(s, b"key-0042")),
+        ("replay-record", lambda s: replay_stale_record(s, b"key-0042",
+                                                        b"value-X!")),
+        ("swap-pointers", lambda s: swap_slot_pointers(s, b"key-0001",
+                                                       b"key-0002")),
+        ("unauthorized-delete", lambda s: unauthorized_delete(s, b"key-0007")),
+        ("tamper-merkle", lambda s: tamper_merkle_node(s, counter_id=1500)),
+    ]
+    failures = 0
+    for name, scenario in scenarios:
+        outcome = scenario(fresh())
+        mark = "DETECTED" if outcome.detected else "MISSED!"
+        failures += 0 if outcome.detected else 1
+        print(f"{name:<22} {mark}")
+    confidential = snoop_learns_only_ciphertext(fresh(), b"key-0042",
+                                                b"value-42")
+    print(f"{'snoop-ciphertext':<22} "
+          f"{'CONFIDENTIAL' if confidential else 'LEAKED!'}")
+    failures += 0 if confidential else 1
+    return 1 if failures else 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.bench.harness import (
+        aria_buckets,
+        aria_cache_budget,
+        auto_pin_levels,
+        scaled_platform,
+    )
+    from repro.merkle.layout import MerkleLayout
+
+    platform = scaled_platform(args.scale)
+    n_counters = int(args.keys * 1.05) + 8
+    layout = MerkleLayout(n_counters=n_counters, arity=args.arity)
+    pin = auto_pin_levels(layout, platform.epc_bytes)
+    buckets = aria_buckets(args.keys, platform)
+    budget = aria_cache_budget(platform, n_keys=args.keys, arity=args.arity,
+                               pin_levels=pin, n_buckets=buckets)
+    print(f"scale               1/{args.scale}")
+    print(f"EPC                 {platform.epc_bytes:,} B")
+    print(f"keys                {args.keys:,} "
+          f"({n_counters:,} counters)")
+    print(f"merkle levels       {layout.n_levels} "
+          f"(node {layout.node_size} B, arity {args.arity})")
+    print("level sizes         "
+          + ", ".join(f"L{i}={s:,}B" for i, s in
+                      enumerate(layout.level_sizes())))
+    print(f"auto-pinned levels  top {pin} "
+          f"({layout.pinned_bytes(pin):,} B)")
+    print(f"hash buckets        {buckets:,}")
+    print(f"secure cache        {budget:,} B "
+          f"(~{budget // (layout.node_size + 16):,} nodes)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aria (ICDE 2021) reproduction: secure in-memory KV "
+                    "store on a simulated SGX enclave",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="guided store demo")
+    demo.add_argument("--index", default="hash",
+                      choices=["hash", "btree", "bplustree"])
+    demo.set_defaults(func=_cmd_demo)
+
+    workload = sub.add_parser("workload", help="one measured workload run")
+    workload.add_argument("--scheme", default="aria")
+    workload.add_argument("--workload", default="zipfian",
+                          choices=["zipfian", "scrambled", "uniform", "etc"])
+    workload.add_argument("--keys", type=int, default=20_000)
+    workload.add_argument("--ops", type=int, default=10_000)
+    workload.add_argument("--read-ratio", type=float, default=0.95)
+    workload.add_argument("--value-size", type=int, default=16)
+    workload.add_argument("--skew", type=float, default=0.99)
+    workload.add_argument("--scale", type=int, default=512)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.set_defaults(func=_cmd_workload)
+
+    bench = sub.add_parser("bench", help="regenerate paper tables/figures")
+    bench.add_argument("experiments", nargs="*")
+    bench.add_argument("--all", action="store_true")
+    bench.set_defaults(func=_cmd_bench)
+
+    attack = sub.add_parser("attack", help="stage the threat-model attacks")
+    attack.set_defaults(func=_cmd_attack)
+
+    inspect = sub.add_parser("inspect", help="show store sizing at a scale")
+    inspect.add_argument("--keys", type=int, default=20_000)
+    inspect.add_argument("--scale", type=int, default=512)
+    inspect.add_argument("--arity", type=int, default=8)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

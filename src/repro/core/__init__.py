@@ -1,0 +1,33 @@
+"""Aria core: configuration, counters, records, and the store facade."""
+
+from repro.core.config import (
+    AriaConfig,
+    aria_base_config,
+    plus_fifo_config,
+    plus_heapalloc_config,
+    plus_pin_config,
+)
+from repro.core.counters import CounterManager
+from repro.core.persistence import (
+    capture_store_state,
+    restore_store,
+    seal_store,
+)
+from repro.core.record import OpenedRecord, RecordCodec, record_size
+from repro.core.store import AriaStore
+
+__all__ = [
+    "AriaConfig",
+    "AriaStore",
+    "CounterManager",
+    "OpenedRecord",
+    "RecordCodec",
+    "aria_base_config",
+    "capture_store_state",
+    "plus_fifo_config",
+    "plus_heapalloc_config",
+    "plus_pin_config",
+    "record_size",
+    "restore_store",
+    "seal_store",
+]

@@ -1,0 +1,289 @@
+"""The redirection layer and counter-area management (paper Section V-C).
+
+Aria decouples security metadata from the index: every KV pair owns a
+**redirection pointer** (RedPtr) naming one encryption counter; the counters
+are what the Merkle tree + Secure Cache protect.  This module manages the
+counter space:
+
+* A **circular buffer in untrusted memory** records the ids of free counters
+  (free-list content is cheap, bulky and non-secret — perfect for untrusted
+  memory), with its head/tail cursors in the EPC.
+* A **bitmap in the EPC** records true occupancy.  A fetched "free" counter
+  whose bitmap bit is already set means the untrusted buffer was attacked
+  (:class:`repro.errors.CounterReuseError`).
+* When a counter area is exhausted, a **new Merkle tree** is built over a
+  fresh counter area (MT expansion, Section V-A) and ids continue in a new range.
+
+RedPtr encoding: ``area_index * area_capacity_stride + local_counter_id``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.secure_cache import SecureCache
+from repro.errors import CapacityError, CounterReuseError, IntegrityError
+from repro.merkle.layout import MerkleLayout
+from repro.merkle.tree import MerkleTree
+from repro.sgx.enclave import Enclave
+
+_ID_BYTES = 8
+#: Stride between area id ranges (supports areas up to 2^40 counters).
+_AREA_STRIDE = 1 << 40
+
+
+@dataclass
+class _CounterArea:
+    """One counter region: its Merkle tree, Secure Cache, and free bookkeeping."""
+
+    tree: MerkleTree
+    cache: SecureCache
+    capacity: int
+    ring_addr: int                 # untrusted circular buffer of free ids
+    bitmap: bytearray              # EPC-resident occupancy bitmap
+    head: int = 0                  # EPC-resident cursors
+    tail: int = 0
+    n_free: int = 0
+
+
+class CounterManager:
+    """Fetches, verifies, increments and frees encryption counters."""
+
+    EPC_CONSUMER = "counter_bitmap"
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        *,
+        initial_counters: int,
+        arity: int,
+        cache_bytes: int,
+        policy: str = "fifo",
+        pin_levels: int = 3,
+        stop_swap_enabled: bool = True,
+        stop_swap_threshold: float = 0.70,
+        stop_swap_window: int = 4096,
+        stop_swap_patience: int = 1,
+        swap_encrypt: bool = False,
+        writeback_clean: bool = False,
+        expansion_counters: Optional[int] = None,
+        expansion_cache_bytes: Optional[int] = None,
+        seed: int = 0,
+        create_initial_area: bool = True,
+    ):
+        self._enclave = enclave
+        self._arity = arity
+        self._cache_kwargs = dict(
+            policy=policy,
+            pin_levels=pin_levels,
+            stop_swap_enabled=stop_swap_enabled,
+            stop_swap_threshold=stop_swap_threshold,
+            stop_swap_window=stop_swap_window,
+            stop_swap_patience=stop_swap_patience,
+            swap_encrypt=swap_encrypt,
+            writeback_clean=writeback_clean,
+        )
+        self._expansion_counters = expansion_counters or initial_counters
+        self._expansion_cache_bytes = expansion_cache_bytes or cache_bytes
+        self._rng = random.Random(seed)
+        self._areas: list[_CounterArea] = []
+        self._initial_cache_bytes = cache_bytes
+        if create_initial_area:
+            self._add_area(initial_counters, cache_bytes)
+
+    # -- area management ---------------------------------------------------------
+
+    def _add_area(self, n_counters: int, cache_bytes: int) -> None:
+        """Build a fresh counter area: new MT + Secure Cache + free ring."""
+        layout = MerkleLayout(n_counters=n_counters, arity=self._arity)
+        tree = MerkleTree(self._enclave, layout, rng=self._rng)
+        cache = SecureCache(
+            self._enclave, tree, capacity_bytes=cache_bytes, **self._cache_kwargs
+        )
+        ring_addr = self._enclave.untrusted.alloc(n_counters * _ID_BYTES)
+        bitmap = bytearray((n_counters + 7) // 8)
+        self._enclave.epc.reserve(self.EPC_CONSUMER, len(bitmap))
+        area = _CounterArea(
+            tree=tree,
+            cache=cache,
+            capacity=n_counters,
+            ring_addr=ring_addr,
+            bitmap=bitmap,
+            n_free=n_counters,
+        )
+        # Seed the ring with every local id, in order.
+        for local_id in range(n_counters):
+            self._enclave.untrusted.write(
+                ring_addr + local_id * _ID_BYTES,
+                local_id.to_bytes(_ID_BYTES, "little"),
+            )
+        area.tail = 0  # next pop position
+        area.head = 0  # next push position (ring full at start)
+        self._areas.append(area)
+        self._enclave.meter.count("mt_expansion")
+
+    def _split(self, red_ptr: int) -> tuple[_CounterArea, int]:
+        area_index, local_id = divmod(red_ptr, _AREA_STRIDE)
+        if area_index >= len(self._areas):
+            raise IntegrityError(f"RedPtr {red_ptr:#x} names a nonexistent area")
+        area = self._areas[area_index]
+        if local_id >= area.capacity:
+            raise IntegrityError(f"RedPtr {red_ptr:#x} out of area range")
+        return area, local_id
+
+    @property
+    def n_areas(self) -> int:
+        return len(self._areas)
+
+    @property
+    def areas(self) -> list:
+        """The underlying areas (read-only use: stats, attack fixtures)."""
+        return self._areas
+
+    # -- fetch / free --------------------------------------------------------------
+
+    def fetch(self) -> int:
+        """Pop a free counter id; expands with a new MT when exhausted."""
+        area_index = None
+        for i, area in enumerate(self._areas):
+            if area.n_free:
+                area_index = i
+                break
+        if area_index is None:
+            self._add_area(self._expansion_counters, self._expansion_cache_bytes)
+            area_index = len(self._areas) - 1
+        area = self._areas[area_index]
+        # Pop from the untrusted ring at the head cursor.
+        self._enclave.epc_touch(8)  # head cursor
+        local_id = int.from_bytes(
+            self._enclave.read_untrusted(
+                area.ring_addr + area.tail * _ID_BYTES, _ID_BYTES
+            ),
+            "little",
+        )
+        if local_id >= area.capacity:
+            raise CounterReuseError(
+                f"free ring returned invalid counter id {local_id}"
+            )
+        byte_index, bit = divmod(local_id, 8)
+        self._enclave.epc_touch(1)  # bitmap check
+        if area.bitmap[byte_index] & (1 << bit):
+            raise CounterReuseError(
+                f"free ring returned in-use counter {local_id}: attack detected"
+            )
+        area.bitmap[byte_index] |= 1 << bit
+        area.tail = (area.tail + 1) % area.capacity
+        area.n_free -= 1
+        return area_index * _AREA_STRIDE + local_id
+
+    def free(self, red_ptr: int) -> None:
+        """Return a counter to its area's free ring."""
+        area, local_id = self._split(red_ptr)
+        byte_index, bit = divmod(local_id, 8)
+        self._enclave.epc_touch(1)
+        if not area.bitmap[byte_index] & (1 << bit):
+            raise CounterReuseError(f"freeing counter {local_id} that is not in use")
+        area.bitmap[byte_index] &= ~(1 << bit)
+        if area.n_free >= area.capacity:
+            raise CapacityError("counter free ring overflow")
+        self._enclave.epc_touch(8)  # tail cursor
+        self._enclave.write_untrusted(
+            area.ring_addr + area.head * _ID_BYTES,
+            local_id.to_bytes(_ID_BYTES, "little"),
+        )
+        area.head = (area.head + 1) % area.capacity
+        area.n_free += 1
+
+    def is_used(self, red_ptr: int) -> bool:
+        area, local_id = self._split(red_ptr)
+        byte_index, bit = divmod(local_id, 8)
+        return bool(area.bitmap[byte_index] & (1 << bit))
+
+    # -- counter access (verified through the Secure Cache) --------------------------
+
+    def read_counter(self, red_ptr: int) -> bytes:
+        area, local_id = self._split(red_ptr)
+        return area.cache.read_counter(local_id)
+
+    def increment_counter(self, red_ptr: int) -> bytes:
+        area, local_id = self._split(red_ptr)
+        return area.cache.increment_counter(local_id)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Aggregated Secure Cache statistics across areas."""
+        totals: dict = {"hits": 0, "misses": 0, "evictions": 0,
+                        "writebacks": 0, "clean_discards": 0}
+        for area in self._areas:
+            stats = area.cache.stats
+            totals["hits"] += stats.hits
+            totals["misses"] += stats.misses
+            totals["evictions"] += stats.evictions
+            totals["writebacks"] += stats.writebacks
+            totals["clean_discards"] += stats.clean_discards
+        accesses = totals["hits"] + totals["misses"]
+        totals["hit_ratio"] = totals["hits"] / accesses if accesses else 0.0
+        return totals
+
+    # -- state capture / restore (enclave restart) -----------------------------
+
+    def capture_state(self) -> list:
+        """Trusted per-area state for sealing.
+
+        Callers must flush the Secure Caches first
+        (:meth:`repro.cache.secure_cache.SecureCache.flush_to_untrusted`)
+        so the captured roots cover the current untrusted tree contents.
+        """
+        return [
+            {
+                "capacity": area.capacity,
+                "arity": area.tree.layout.arity,
+                "ring_addr": area.ring_addr,
+                "bitmap": bytes(area.bitmap).hex(),
+                "head": area.head,
+                "tail": area.tail,
+                "n_free": area.n_free,
+                "level_bases": area.tree.level_bases,
+                "root": area.tree.root_mac.hex(),
+            }
+            for area in self._areas
+        ]
+
+    def restore_areas(self, states: list, cache_bytes_per_area: list) -> None:
+        """Rebuild every counter area from sealed state (replaces the fresh
+        area the constructor made)."""
+        self._areas = []
+        for state, cache_bytes in zip(states, cache_bytes_per_area):
+            layout = MerkleLayout(n_counters=state["capacity"],
+                                  arity=state["arity"])
+            tree = MerkleTree(
+                self._enclave, layout,
+                level_bases=state["level_bases"],
+                root_mac=bytes.fromhex(state["root"]),
+            )
+            cache = SecureCache(self._enclave, tree,
+                                capacity_bytes=cache_bytes,
+                                **self._cache_kwargs)
+            self._areas.append(_CounterArea(
+                tree=tree,
+                cache=cache,
+                capacity=state["capacity"],
+                ring_addr=state["ring_addr"],
+                bitmap=bytearray.fromhex(state["bitmap"]),
+                head=state["head"],
+                tail=state["tail"],
+                n_free=state["n_free"],
+            ))
+            self._enclave.epc.reserve(self.EPC_CONSUMER,
+                                      (state["capacity"] + 7) // 8)
+
+    def reset_stats(self) -> None:
+        """Zero every area's cache counters (between load and run phases)."""
+        for area in self._areas:
+            area.cache.stats.reset_counts()
+
+    def primary_cache(self) -> SecureCache:
+        return self._areas[0].cache

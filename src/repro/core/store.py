@@ -1,0 +1,221 @@
+"""AriaStore: the public facade of the secure KV store (paper Section V).
+
+Wires together the enclave simulator, the user-space heap allocator, the
+counter manager (redirection layer + Merkle trees + Secure Caches), the
+record codec, and one of the two index schemes.  The Put/Get walkthroughs of
+Section V-D happen across these components:
+
+Put(key, value):
+  1. index lookup finds the slot serving the operation,
+  2. a RedPtr is created (or reused) and its counter verified by Secure
+     Cache, then incremented,
+  3. key||value is CTR-encrypted under the counter,
+  4. a MAC is computed over (RedPtr, counter, ciphertext, AdField),
+  5. the record goes to a heap-allocator block and the index is updated.
+
+Get(key): index traversal -> counter fetch via RedPtr (Secure Cache
+verifies) -> MAC check -> decrypt -> plaintext key comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.alloc.heap import Allocator, HeapAllocator, OcallAllocator
+from repro.core.config import AriaConfig
+from repro.core.counters import CounterManager
+from repro.core.record import RecordCodec
+from repro.crypto.keys import KeyMaterial
+from repro.index.bplustree import AriaBPlusTreeIndex
+from repro.index.btree import AriaBTreeIndex
+from repro.index.hashtable import AriaHashIndex
+from repro.sgx.costs import SgxPlatform
+from repro.sgx.enclave import Enclave
+from repro.sgx.meter import MeterPause
+
+
+class AriaStore:
+    """A secure in-memory KV store with Secure Cache (the paper's Aria)."""
+
+    def __init__(
+        self,
+        config: Optional[AriaConfig] = None,
+        *,
+        platform: Optional[SgxPlatform] = None,
+        enclave: Optional[Enclave] = None,
+    ):
+        self.config = config or AriaConfig()
+        self.enclave = enclave or Enclave(
+            platform or SgxPlatform(),
+            keys=KeyMaterial.from_seed(self.config.seed),
+            crypto_backend=self.config.crypto_backend,
+        )
+        # Setup (tree initialization, pinning) is excluded from metering,
+        # matching the paper's steady-state measurements.
+        with MeterPause(self.enclave.meter):
+            self.counters = CounterManager(
+                self.enclave,
+                initial_counters=self.config.initial_counters,
+                arity=self.config.merkle_arity,
+                cache_bytes=self.config.secure_cache_bytes,
+                policy=self.config.eviction_policy,
+                pin_levels=self.config.pin_levels,
+                stop_swap_enabled=self.config.stop_swap_enabled,
+                stop_swap_threshold=self.config.stop_swap_threshold,
+                stop_swap_window=self.config.stop_swap_window,
+                stop_swap_patience=self.config.stop_swap_patience,
+                swap_encrypt=self.config.swap_encrypt,
+                writeback_clean=self.config.writeback_clean,
+                expansion_counters=self.config.expansion_counters,
+                expansion_cache_bytes=self.config.expansion_cache_bytes,
+                seed=self.config.seed,
+            )
+            self.codec = RecordCodec(self.enclave, self.counters)
+            self.allocator = self._make_allocator()
+            self.index = self._make_index()
+
+    def _make_allocator(self) -> Allocator:
+        if self.config.allocator == "heap":
+            return HeapAllocator(self.enclave,
+                                 chunk_size=self.config.heap_chunk_bytes)
+        return OcallAllocator(self.enclave)
+
+    def _make_index(self):
+        if self.config.index == "hash":
+            return AriaHashIndex(
+                self.enclave,
+                self.codec,
+                self.allocator,
+                n_buckets=self.config.n_buckets,
+                fetch_counter=self.counters.fetch,
+                free_counter=self.counters.free,
+                dummy_bucket_reads=self.config.dummy_bucket_reads,
+            )
+        if self.config.index == "bplustree":
+            return AriaBPlusTreeIndex(
+                self.enclave,
+                self.codec,
+                self.allocator,
+                order=self.config.btree_order,
+                fetch_counter=self.counters.fetch,
+                free_counter=self.counters.free,
+            )
+        order = self.config.btree_order
+        if order % 2 == 0:
+            order -= 1  # the CLRS tree wants an odd max-key count
+        return AriaBTreeIndex(
+            self.enclave,
+            self.codec,
+            self.allocator,
+            order=order,
+            fetch_counter=self.counters.fetch,
+            free_counter=self.counters.free,
+        )
+
+    # -- public KV API ----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update a KV pair (Section V-D Put walkthrough)."""
+        self.index.put(key, value)
+        self.enclave.meter.count("op_put")
+
+    def get(self, key: bytes) -> bytes:
+        """Fetch and verify a KV pair (Section V-D Get walkthrough)."""
+        value = self.index.get(key)
+        self.enclave.meter.count("op_get")
+        return value
+
+    def delete(self, key: bytes) -> None:
+        """Remove a KV pair; its counter returns to the free ring."""
+        self.index.delete(key)
+        self.enclave.meter.count("op_delete")
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, key: bytes) -> bool:
+        from repro.errors import KeyNotFoundError
+
+        try:
+            self.index.get(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    def keys(self) -> Iterator[bytes]:
+        return self.index.keys()
+
+    def range_scan(self, lo: bytes, hi: bytes):
+        """Ordered range query — tree indexes only (Section III's motivation)."""
+        if not isinstance(self.index, (AriaBTreeIndex, AriaBPlusTreeIndex)):
+            raise TypeError("range_scan requires a tree index (btree or "
+                            "bplustree)")
+        return self.index.range_scan(lo, hi)
+
+    def items(self) -> Iterator[tuple]:
+        """Iterate all (key, value) pairs, each verified and decrypted."""
+        for key in list(self.index.keys()):
+            yield key, self.index.get(key)
+
+    def values(self) -> Iterator[bytes]:
+        for _, value in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[bytes]:
+        return self.index.keys()
+
+    # -- auditing -------------------------------------------------------------------
+
+    def audit(self) -> None:
+        """Full integrity check of everything in untrusted memory.
+
+        Verifies (1) the index structure — chain/tree shape, per-bucket
+        counts or uniform depth, every record's MAC and AdField binding —
+        and (2) every Merkle-tree node of every counter area against the
+        path to its EPC-resident anchor.  Raises IntegrityError/ReplayError/
+        DeletionError on the first inconsistency; an fsck for the paranoid.
+        """
+        self.index.audit()
+        for area in self.counters.areas:
+            layout = area.tree.layout
+            for leaf in range(layout.nodes_at_level(0)):
+                area.cache.verify_leaf(leaf)
+
+    # -- bulk load (unmetered, like the paper's setup phase) -----------------------
+
+    def load(self, pairs) -> None:
+        """Insert many pairs without charging cycles (experiment setup)."""
+        with MeterPause(self.enclave.meter):
+            for key, value in pairs:
+                self.index.put(key, value)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        return self.counters.cache_stats()
+
+    def epc_report(self) -> dict:
+        """Per-consumer EPC occupation (Table I's usability column)."""
+        return self.enclave.epc.usage_report()
+
+    def memory_report(self) -> dict:
+        """Security/index/allocator metadata footprint (Section VI-D4).
+
+        Per-KV security metadata: a 16-byte counter, a 16-byte MAC and an
+        8-byte RedPtr, plus the Merkle tree above the counters.
+        """
+        per_key_security = 16 + 16 + 8
+        mt_bytes = sum(
+            area.tree.layout.total_bytes() for area in self.counters.areas
+        )
+        return {
+            "per_key_security_bytes": per_key_security,
+            "merkle_tree_bytes": mt_bytes,
+            "untrusted_bytes": self.enclave.untrusted.allocated_bytes,
+            "epc_bytes": self.enclave.epc.used,
+            "epc_by_consumer": self.enclave.epc.usage_report(),
+        }
+
+    def seed_rng(self) -> random.Random:
+        return random.Random(self.config.seed)

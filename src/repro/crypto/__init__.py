@@ -1,0 +1,24 @@
+"""Cryptographic substrate: AES-128, CTR mode, AES-CMAC, and fast backend."""
+
+from repro.crypto.aes import AES128
+from repro.crypto.backend import (
+    CryptoBackend,
+    FastCryptoBackend,
+    RealCryptoBackend,
+    get_backend,
+)
+from repro.crypto.cmac import cmac, cmac_verify
+from repro.crypto.ctr import ctr_transform
+from repro.crypto.keys import KeyMaterial
+
+__all__ = [
+    "AES128",
+    "CryptoBackend",
+    "FastCryptoBackend",
+    "RealCryptoBackend",
+    "KeyMaterial",
+    "cmac",
+    "cmac_verify",
+    "ctr_transform",
+    "get_backend",
+]

@@ -1,0 +1,199 @@
+"""Pure-Python AES-128 block cipher (FIPS-197), implemented from scratch.
+
+This is the block primitive behind the SGX SDK functions the paper uses:
+``sgx_aes_ctr_encrypt`` (CTR mode, :mod:`repro.crypto.ctr`) and
+``sgx_rijndael128_cmac`` (AES-CMAC, :mod:`repro.crypto.cmac`).
+
+The implementation is table-driven (S-box plus xtime multiplication) and is
+validated against the FIPS-197 appendix test vectors in
+``tests/test_crypto_aes.py``.  It is deliberately straightforward rather than
+fast; benchmark paths use the keyed-blake2 backend in
+:mod:`repro.crypto.backend` and charge identical *simulated* cycle costs.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+_ROUNDS = 10
+
+# Forward S-box, generated once at import from the AES finite-field inverse
+# followed by the affine transform (FIPS-197 Section 5.1.1).
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverses in GF(2^8) via exp/log tables over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator 0x03 = x * 2 ^ x
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transform: b ^ rot1(b) ^ rot2(b) ^ rot3(b) ^ rot4(b) ^ 0x63
+        res = 0x63
+        for shift in range(5):
+            res ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[value] = res
+
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo the AES polynomial."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+# Precomputed multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = bytes(_xtime(v) for v in range(256))
+_MUL3 = bytes(_MUL2[v] ^ v for v in range(256))
+
+
+def _mul(a: int, b: int) -> int:
+    """General GF(2^8) multiply, used only for the inverse MixColumns tables."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = _xtime(a)
+    return result
+
+
+_MUL9 = bytes(_mul(v, 9) for v in range(256))
+_MUL11 = bytes(_mul(v, 11) for v in range(256))
+_MUL13 = bytes(_mul(v, 13) for v in range(256))
+_MUL14 = bytes(_mul(v, 14) for v in range(256))
+
+
+def expand_key(key: bytes) -> list[bytes]:
+    """Expand a 16-byte key into the 11 round keys of AES-128.
+
+    Returns a list of 11 16-byte round keys (FIPS-197 Section 5.2).
+    """
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"AES-128 key must be {KEY_SIZE} bytes, got {len(key)}")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for i in range(4, 4 * (_ROUNDS + 1)):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            # RotWord + SubWord + Rcon
+            temp = bytes(
+                (
+                    SBOX[temp[1]] ^ _RCON[i // 4 - 1],
+                    SBOX[temp[2]],
+                    SBOX[temp[3]],
+                    SBOX[temp[0]],
+                )
+            )
+        prev = words[i - 4]
+        words.append(bytes(prev[j] ^ temp[j] for j in range(4)))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(_ROUNDS + 1)]
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: bytearray) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: bytearray) -> None:
+    for i in range(16):
+        state[i] = INV_SBOX[state[i]]
+
+
+# State layout: state[4*c + r] is row r, column c (column-major, matching the
+# byte order of the input block).
+
+_SHIFT_ROWS_MAP = tuple(
+    4 * ((col + row) % 4) + row for col in range(4) for row in range(4)
+)
+_INV_SHIFT_ROWS_MAP = tuple(
+    4 * ((col - row) % 4) + row for col in range(4) for row in range(4)
+)
+
+
+def _shift_rows(state: bytearray) -> None:
+    state[:] = bytes(state[i] for i in _SHIFT_ROWS_MAP)
+
+
+def _inv_shift_rows(state: bytearray) -> None:
+    state[:] = bytes(state[i] for i in _INV_SHIFT_ROWS_MAP)
+
+
+def _mix_columns(state: bytearray) -> None:
+    for c in range(0, 16, 4):
+        a0, a1, a2, a3 = state[c], state[c + 1], state[c + 2], state[c + 3]
+        state[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+        state[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+        state[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+        state[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+
+def _inv_mix_columns(state: bytearray) -> None:
+    for c in range(0, 16, 4):
+        a0, a1, a2, a3 = state[c], state[c + 1], state[c + 2], state[c + 3]
+        state[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+        state[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+        state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+        state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+
+class AES128:
+    """AES-128 with a fixed key; encrypt/decrypt one 16-byte block at a time."""
+
+    def __init__(self, key: bytes):
+        self._round_keys = expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[0])
+        for rnd in range(1, _ROUNDS):
+            _sub_bytes(state)
+            _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._round_keys[rnd])
+        _sub_bytes(state)
+        _shift_rows(state)
+        _add_round_key(state, self._round_keys[_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[_ROUNDS])
+        for rnd in range(_ROUNDS - 1, 0, -1):
+            _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+            _add_round_key(state, self._round_keys[rnd])
+            _inv_mix_columns(state)
+        _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,48 @@
+"""AES counter-mode encryption — the reproduction of ``sgx_aes_ctr_encrypt``.
+
+The paper (Section II-C, Section V) encrypts each KV pair with AES CTR counter-mode
+encryption (CME) under a 128-bit global secret key and a per-KV 16-byte
+counter that is incremented before every encryption.  CTR mode turns the AES
+block cipher into a stream cipher: the keystream is
+``AES_k(counter_block_0) || AES_k(counter_block_1) || ...`` where the counter
+block is the per-KV counter with its low 32 bits incremented per 16-byte
+block (the SGX SDK convention: ``ctr_inc_bits = 32``).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+
+COUNTER_SIZE = 16
+_CTR_INC_BITS = 32
+
+
+def _counter_block(counter: bytes, block_index: int) -> bytes:
+    """Derive the counter block for ``block_index`` from the initial counter.
+
+    Matches the SGX SDK behaviour of incrementing the low ``ctr_inc_bits``
+    (32) bits, big-endian, once per 16-byte keystream block.
+    """
+    prefix = counter[: COUNTER_SIZE - _CTR_INC_BITS // 8]
+    low = int.from_bytes(counter[-_CTR_INC_BITS // 8 :], "big")
+    low = (low + block_index) % (1 << _CTR_INC_BITS)
+    return prefix + low.to_bytes(_CTR_INC_BITS // 8, "big")
+
+
+def ctr_transform(key: bytes, counter: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt ``data`` (CTR is an involution) with AES-128-CTR.
+
+    ``counter`` is the 16-byte initial counter value (the per-KV encryption
+    counter in Aria).  Returns ciphertext of the same length as ``data``.
+    """
+    if len(counter) != COUNTER_SIZE:
+        raise ValueError(f"counter must be {COUNTER_SIZE} bytes, got {len(counter)}")
+    cipher = AES128(key)
+    out = bytearray(len(data))
+    for block_index in range((len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE):
+        keystream = cipher.encrypt_block(_counter_block(counter, block_index))
+        offset = block_index * BLOCK_SIZE
+        chunk = data[offset : offset + BLOCK_SIZE]
+        for i, byte in enumerate(chunk):
+            out[offset + i] = byte ^ keystream[i]
+    return bytes(out)

@@ -1,0 +1,41 @@
+"""Session key material for an Aria enclave instance.
+
+The paper uses a 128-bit global secret key for CTR encryption and a (possibly
+distinct) MAC key for ``sgx_rijndael128_cmac``; both live only inside the
+enclave.  In the reproduction, keys are derived deterministically from a seed
+so experiments are reproducible, or randomly when no seed is given.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+KEY_SIZE = 16
+
+
+@dataclass(frozen=True)
+class KeyMaterial:
+    """The enclave-resident secrets: one encryption key, one MAC key."""
+
+    encryption_key: bytes
+    mac_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.encryption_key) != KEY_SIZE or len(self.mac_key) != KEY_SIZE:
+            raise ValueError(f"keys must be {KEY_SIZE} bytes")
+
+    @classmethod
+    def from_seed(cls, seed: int) -> "KeyMaterial":
+        """Derive both keys deterministically from an integer seed."""
+        raw = hashlib.blake2b(
+            seed.to_bytes(16, "little", signed=False), digest_size=32
+        ).digest()
+        return cls(encryption_key=raw[:16], mac_key=raw[16:])
+
+    @classmethod
+    def random(cls) -> "KeyMaterial":
+        """Fresh random keys, as remote attestation would establish."""
+        raw = os.urandom(32)
+        return cls(encryption_key=raw[:16], mac_key=raw[16:])

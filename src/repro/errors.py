@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Aria reproduction.
+
+Every failure mode the paper discusses maps to a distinct exception so tests
+and the attack suite can assert on the *kind* of detection that fired.
+"""
+
+from __future__ import annotations
+
+
+class AriaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IntegrityError(AriaError):
+    """A MAC comparison failed: data in untrusted memory was modified.
+
+    Raised whenever a computed MAC does not match the stored MAC — for KV
+    records, Merkle-tree nodes, or index connections (AdField mismatch).
+    """
+
+
+class ReplayError(IntegrityError):
+    """A replay attack was detected.
+
+    Stale-but-valid (data, counter, MAC) triples are caught by the Merkle
+    tree over the encryption counters: the replayed counter no longer matches
+    the MAC path up to the in-enclave root (or first cached ancestor).
+    """
+
+
+class CounterReuseError(IntegrityError):
+    """The counter-area bitmap says a 'free' counter is already in use.
+
+    The paper (SectionV-C, counter area management) treats this as evidence of
+    an attack on the untrusted free-counter circular buffer.
+    """
+
+
+class DeletionError(IntegrityError):
+    """Unauthorized deletion detected.
+
+    A key was not found in the index although the in-enclave entry/path count
+    says it must exist (SectionV-C, index protection).
+    """
+
+
+class KeyNotFoundError(AriaError, KeyError):
+    """A Get/Delete referenced a key that is not in the store."""
+
+
+class CapacityError(AriaError):
+    """A fixed-size resource (EPC budget, counter area, chunk) is exhausted."""
+
+
+class AllocationError(AriaError):
+    """The user-space heap allocator could not satisfy a request."""
+
+
+class ConfigurationError(AriaError):
+    """An AriaConfig combination is invalid (e.g. arity < 2)."""
+
+
+class EnclaveViolationError(AriaError):
+    """Simulator misuse: untrusted code touched trusted state directly."""

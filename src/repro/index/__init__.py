@@ -1,0 +1,13 @@
+"""Index schemes for Aria's decoupled design: hash table and B-tree."""
+
+from repro.index.base import SecureIndex
+from repro.index.bplustree import AriaBPlusTreeIndex
+from repro.index.btree import AriaBTreeIndex
+from repro.index.hashtable import AriaHashIndex
+
+__all__ = [
+    "AriaBPlusTreeIndex",
+    "AriaBTreeIndex",
+    "AriaHashIndex",
+    "SecureIndex",
+]

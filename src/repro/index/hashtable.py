@@ -1,0 +1,321 @@
+"""Aria-H: chained hash table over sealed records (paper Section V-C).
+
+Layout in untrusted memory::
+
+    bucket array:  n_buckets x 8-byte head pointers
+    entry:         next_ptr (8) | key_hint (4) | sealed record (...)
+
+* The **key hint** is a hash of the plaintext key stored per entry, so chain
+  traversal skips non-matching entries without decrypting them (the paper
+  credits this for the ~10x gap between Aria-H and Aria-T).
+* **Index protection**: each record's AdField is the address of the pointer
+  slot that points at its entry — the bucket head slot for the first entry,
+  the predecessor's ``next`` field otherwise.  Swapping two slot pointers
+  (Fig 7) relocates records under foreign AdFields and both MACs fail.
+* **Unauthorized-deletion detection**: the enclave keeps a per-bucket entry
+  count; a miss whose traversal saw fewer entries than the count recorded in
+  the EPC raises :class:`DeletionError` instead of KeyNotFoundError.
+
+Inserts append at the chain tail so existing entries keep their AdFields;
+deletes splice and re-bind the successor's record to its new pointer slot.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+from repro.alloc.heap import Allocator
+from repro.core.record import RecordCodec, record_size
+from repro.errors import DeletionError, KeyNotFoundError
+from repro.index.base import SecureIndex
+from repro.sgx.enclave import Enclave
+
+_ENTRY_PREFIX = struct.Struct("<QI")  # next_ptr, key_hint
+_NULL = 0
+#: Bytes of EPC charged per bucket for the entry count (Section V-C).
+_COUNT_BYTES = 1
+
+
+class AriaHashIndex(SecureIndex):
+    """Chained hashing with key hints and tail insertion."""
+
+    name = "hash"
+    EPC_CONSUMER = "hash_index"
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        codec: RecordCodec,
+        allocator: Allocator,
+        *,
+        n_buckets: int,
+        fetch_counter: callable,
+        free_counter: Optional[callable] = None,
+        dummy_bucket_reads: int = 0,
+    ):
+        self._enclave = enclave
+        self._codec = codec
+        self._allocator = allocator
+        self._n_buckets = n_buckets
+        self._fetch_counter = fetch_counter
+        self._free_counter = free_counter
+        # Section VII mitigation sketch: per operation, also walk this many
+        # pseudo-randomly chosen buckets so an observer of untrusted-memory
+        # reads cannot attribute request frequency to one bucket.  This
+        # blurs frequencies; it is NOT ORAM (orderings and co-access
+        # patterns still leak) and is off by default, as in the paper.
+        self._dummy_bucket_reads = dummy_bucket_reads
+        self._dummy_state = 0x9E3779B97F4A7C15
+        # Bucket head array lives in untrusted memory; the array *entrance*
+        # (its base address) is EPC state, so the enclave always finds it.
+        self._bucket_base = enclave.untrusted.alloc(n_buckets * 8)
+        # Per-bucket entry counts: trusted metadata in the EPC.
+        self._counts = [0] * n_buckets
+        enclave.epc.reserve(self.EPC_CONSUMER, n_buckets * _COUNT_BYTES + 8)
+        self._n_entries = 0
+
+    # -- state capture / restore (enclave restart) -------------------------------
+
+    def capture_state(self) -> dict:
+        return {
+            "kind": self.name,
+            "bucket_base": self._bucket_base,
+            "counts": list(self._counts),
+            "n_entries": self._n_entries,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._bucket_base = state["bucket_base"]
+        self._counts = list(state["counts"])
+        self._n_entries = state["n_entries"]
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _bucket_slot(self, key: bytes) -> tuple[int, int, int]:
+        """Hash a key; returns (bucket index, head slot address, key hint)."""
+        digest = self._enclave.hash_key(key)
+        bucket = digest % self._n_buckets
+        return bucket, self._bucket_base + bucket * 8, digest & 0xFFFFFFFF
+
+    def _read_ptr(self, slot_addr: int) -> int:
+        return int.from_bytes(self._enclave.read_untrusted(slot_addr, 8), "little")
+
+    def _write_ptr(self, slot_addr: int, value: int) -> None:
+        self._enclave.write_untrusted(slot_addr, value.to_bytes(8, "little"))
+
+    def _read_entry(self, entry_addr: int) -> tuple[int, int, bytes]:
+        """Read one entry; returns (next_ptr, hint, record blob)."""
+        prefix = self._enclave.read_untrusted(entry_addr, _ENTRY_PREFIX.size + 12)
+        next_ptr, hint = _ENTRY_PREFIX.unpack_from(prefix)
+        red_ptr, k_len, v_len = self._codec.parse_header(
+            prefix[_ENTRY_PREFIX.size :]
+        )
+        blob = self._enclave.read_untrusted(
+            entry_addr + _ENTRY_PREFIX.size, record_size(k_len, v_len)
+        )
+        return next_ptr, hint, blob
+
+    def _entry_bytes(self, next_ptr: int, hint: int, blob: bytes) -> bytes:
+        return _ENTRY_PREFIX.pack(next_ptr, hint) + blob
+
+    # -- chain walk ---------------------------------------------------------------------
+
+    def _walk(self, key: bytes):
+        """Yield (slot_addr, entry_addr, next_ptr, hint, blob) along the chain.
+
+        ``slot_addr`` is the address of the pointer that references
+        ``entry_addr`` — exactly the entry's AdField.
+        """
+        _, slot_addr, _ = self._bucket_slot(key)
+        entry_addr = self._read_ptr(slot_addr)
+        while entry_addr != _NULL:
+            next_ptr, hint, blob = self._read_entry(entry_addr)
+            yield slot_addr, entry_addr, next_ptr, hint, blob
+            slot_addr = entry_addr  # next field sits at offset 0
+            entry_addr = next_ptr
+
+    def _find(self, key: bytes, verify_miss: bool = True):
+        """Locate a key; returns (slot_addr, entry_addr, next_ptr, blob, opened).
+
+        On a miss with ``verify_miss`` (the Get/Delete path), the whole
+        walked chain is verified before concluding the key is absent: each
+        entry's MAC binds it to the slot that pointed at it (AdField), so a
+        chain redirected to hide a key — the Fig 7 slot swap — raises
+        :class:`IntegrityError` instead of lying with KeyNotFoundError.  A
+        chain shorter than the enclave-recorded entry count raises
+        :class:`DeletionError`.  Put's lookup skips the miss verification:
+        an insert does not assert absence to a client, and the entry it adds
+        is bound to wherever the chain tail really is.
+        """
+        bucket, _, want_hint = self._bucket_slot(key)
+        walked = []
+        for slot_addr, entry_addr, next_ptr, hint, blob in self._walk(key):
+            walked.append((slot_addr, blob))
+            if hint != want_hint:
+                continue
+            opened = self._codec.open(blob, ad_field=slot_addr)
+            if self._enclave.compare(opened.key, key):
+                return slot_addr, entry_addr, next_ptr, blob, opened
+        self._enclave.epc_touch(_COUNT_BYTES)
+        if len(walked) != self._counts[bucket]:
+            raise DeletionError(
+                f"bucket {bucket} has {len(walked)} entries but the enclave "
+                f"recorded {self._counts[bucket]}: unauthorized deletion "
+                "detected"
+            )
+        if verify_miss:
+            for slot_addr, blob in walked:
+                self._codec.open(blob, ad_field=slot_addr)
+        raise KeyNotFoundError(key)
+
+    def _walk_dummy_buckets(self) -> None:
+        """Read the chains of pseudo-random buckets (frequency blurring)."""
+        for _ in range(self._dummy_bucket_reads):
+            # xorshift PRG inside the enclave; the observer cannot predict
+            # or distinguish dummy bucket choices from real ones.
+            self._dummy_state ^= (self._dummy_state << 13) & (2**64 - 1)
+            self._dummy_state ^= self._dummy_state >> 7
+            self._dummy_state ^= (self._dummy_state << 17) & (2**64 - 1)
+            bucket = self._dummy_state % self._n_buckets
+            entry_addr = self._read_ptr(self._bucket_base + bucket * 8)
+            while entry_addr != _NULL:
+                prefix = self._enclave.read_untrusted(
+                    entry_addr, _ENTRY_PREFIX.size
+                )
+                entry_addr, _ = _ENTRY_PREFIX.unpack_from(prefix)
+
+    # -- public operations -----------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes:
+        value = self._find(key)[4].value
+        self._walk_dummy_buckets()
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        try:
+            slot_addr, entry_addr, next_ptr, blob, opened = self._find(
+                key, verify_miss=False
+            )
+        except KeyNotFoundError:
+            self._insert_new(key, value)
+            return
+        self._update_existing(key, value, slot_addr, entry_addr, next_ptr,
+                              blob, opened.red_ptr)
+
+    def delete(self, key: bytes) -> None:
+        slot_addr, entry_addr, next_ptr, blob, opened = self._find(key)
+        self._splice_out(key, slot_addr, entry_addr, next_ptr, blob)
+        if self._free_counter is not None:
+            self._free_counter(opened.red_ptr)
+        bucket, _, _ = self._bucket_slot(key)
+        self._enclave.epc_touch(_COUNT_BYTES)
+        self._counts[bucket] -= 1
+        self._n_entries -= 1
+
+    # -- internals -----------------------------------------------------------------------------
+
+    def _tail_slot(self, key: bytes) -> int:
+        """Address of the last pointer slot in the key's chain."""
+        _, slot_addr, _ = self._bucket_slot(key)
+        entry_addr = self._read_ptr(slot_addr)
+        while entry_addr != _NULL:
+            slot_addr = entry_addr
+            entry_addr = self._read_ptr(entry_addr)
+        return slot_addr
+
+    def _insert_new(self, key: bytes, value: bytes,
+                    red_ptr: Optional[int] = None) -> None:
+        if red_ptr is None:
+            red_ptr = self._fetch_counter()
+        tail_slot = self._tail_slot(key)
+        blob = self._codec.seal(key, value, red_ptr, ad_field=tail_slot)
+        _, _, hint = self._bucket_slot(key)
+        entry = self._entry_bytes(_NULL, hint, blob)
+        entry_addr = self._allocator.alloc(len(entry))
+        self._enclave.write_untrusted(entry_addr, entry)
+        self._write_ptr(tail_slot, entry_addr)
+        bucket, _, _ = self._bucket_slot(key)
+        self._enclave.epc_touch(_COUNT_BYTES)
+        self._counts[bucket] += 1
+        self._n_entries += 1
+
+    def _update_existing(self, key: bytes, value: bytes, slot_addr: int,
+                         entry_addr: int, next_ptr: int, old_blob: bytes,
+                         red_ptr: int) -> None:
+        """Re-seal an existing key, reusing its counter (Section V-D step 2)."""
+        old_block = self._allocator.block_size_of(_ENTRY_PREFIX.size + len(old_blob))
+        new_entry_size = _ENTRY_PREFIX.size + record_size(len(key), len(value))
+        if new_entry_size <= old_block:
+            # Same block: rewrite in place; AdField (slot_addr) is unchanged.
+            new_blob = self._codec.seal(key, value, red_ptr, ad_field=slot_addr)
+            _, _, hint = self._bucket_slot(key)
+            self._enclave.write_untrusted(
+                entry_addr, self._entry_bytes(next_ptr, hint, new_blob)
+            )
+            return
+        # Larger value: splice the old entry out, then re-insert at the tail.
+        self._splice_out(key, slot_addr, entry_addr, next_ptr, old_blob)
+        tail_slot = self._tail_slot(key)
+        resealed = self._codec.seal(key, value, red_ptr, ad_field=tail_slot)
+        _, _, hint = self._bucket_slot(key)
+        entry = self._entry_bytes(_NULL, hint, resealed)
+        new_addr = self._allocator.alloc(len(entry))
+        self._enclave.write_untrusted(new_addr, entry)
+        self._write_ptr(tail_slot, new_addr)
+
+    def _splice_out(self, key: bytes, slot_addr: int, entry_addr: int,
+                    next_ptr: int, blob: bytes) -> None:
+        """Unlink an entry; re-bind the successor to its new pointer slot."""
+        self._write_ptr(slot_addr, next_ptr)
+        if next_ptr != _NULL:
+            succ_next, succ_hint, succ_blob = self._read_entry(next_ptr)
+            rebound = self._codec.reseal_ad_field(
+                succ_blob, old_ad=entry_addr, new_ad=slot_addr
+            )
+            self._enclave.write_untrusted(
+                next_ptr, self._entry_bytes(succ_next, succ_hint, rebound)
+            )
+        self._allocator.free(entry_addr, _ENTRY_PREFIX.size + len(blob))
+
+    # -- iteration / audit ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    def keys(self) -> Iterator[bytes]:
+        for bucket in range(self._n_buckets):
+            slot_addr = self._bucket_base + bucket * 8
+            entry_addr = self._read_ptr(slot_addr)
+            while entry_addr != _NULL:
+                next_ptr, _, blob = self._read_entry(entry_addr)
+                opened = self._codec.open(blob, ad_field=slot_addr)
+                yield opened.key
+                slot_addr = entry_addr
+                entry_addr = next_ptr
+
+    def audit(self) -> None:
+        """Full verified scan; checks every bucket count (DeletionError on lie)."""
+        for bucket in range(self._n_buckets):
+            slot_addr = self._bucket_base + bucket * 8
+            entry_addr = self._read_ptr(slot_addr)
+            seen = 0
+            while entry_addr != _NULL:
+                next_ptr, _, blob = self._read_entry(entry_addr)
+                self._codec.open(blob, ad_field=slot_addr)
+                seen += 1
+                slot_addr = entry_addr
+                entry_addr = next_ptr
+            if seen != self._counts[bucket]:
+                raise DeletionError(
+                    f"bucket {bucket}: {seen} entries, recorded "
+                    f"{self._counts[bucket]}"
+                )
+
+    def epc_bytes(self) -> int:
+        return self._n_buckets * _COUNT_BYTES + 8
+
+    def chain_length(self, key: bytes) -> int:
+        """Entries in the key's bucket (tests & ShieldStore comparisons)."""
+        bucket, _, _ = self._bucket_slot(key)
+        return self._counts[bucket]

@@ -1,0 +1,6 @@
+"""Flat n-ary Merkle tree over per-KV encryption counters."""
+
+from repro.merkle.layout import COUNTER_SIZE, MAC_SIZE, MerkleLayout
+from repro.merkle.tree import MerkleTree
+
+__all__ = ["COUNTER_SIZE", "MAC_SIZE", "MerkleLayout", "MerkleTree"]

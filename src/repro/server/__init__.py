@@ -1,0 +1,42 @@
+"""Client-server mode: wire protocol + enclave request handler (extension)."""
+
+from repro.server.protocol import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    STATUS_BAD_REQUEST,
+    STATUS_INTEGRITY_FAILURE,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    ProtocolError,
+    Request,
+    Response,
+    decode_batch,
+    decode_batch_responses,
+    decode_request,
+    decode_response,
+    encode_batch,
+    encode_batch_responses,
+)
+from repro.server.server import AriaClient, AriaServer
+
+__all__ = [
+    "OP_DELETE",
+    "OP_GET",
+    "OP_PUT",
+    "STATUS_BAD_REQUEST",
+    "STATUS_INTEGRITY_FAILURE",
+    "STATUS_NOT_FOUND",
+    "STATUS_OK",
+    "AriaClient",
+    "AriaServer",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "decode_batch",
+    "decode_batch_responses",
+    "decode_request",
+    "decode_response",
+    "encode_batch",
+    "encode_batch_responses",
+]

@@ -1,0 +1,32 @@
+"""SGX enclave simulator: cost model, meter, EPC, secure paging, enclave."""
+
+from repro.sgx.costs import (
+    CACHELINE,
+    DEFAULT_COSTS,
+    DEFAULT_CPU_HZ,
+    PAGE_SIZE,
+    CostModel,
+    SgxPlatform,
+)
+from repro.sgx.enclave import Enclave
+from repro.sgx.epc import EpcBudget
+from repro.sgx.memory import NULL, UntrustedMemory
+from repro.sgx.meter import CycleMeter, MeterPause, MeterSnapshot
+from repro.sgx.paging import PagedEnclaveHeap
+
+__all__ = [
+    "CACHELINE",
+    "DEFAULT_COSTS",
+    "DEFAULT_CPU_HZ",
+    "NULL",
+    "PAGE_SIZE",
+    "CostModel",
+    "CycleMeter",
+    "Enclave",
+    "EpcBudget",
+    "MeterPause",
+    "MeterSnapshot",
+    "PagedEnclaveHeap",
+    "SgxPlatform",
+    "UntrustedMemory",
+]

@@ -1,0 +1,107 @@
+"""The simulated cycle-cost model for SGX primitives.
+
+Every number here is either quoted directly by the paper (and its citations)
+or derived from figures the SGX literature reports for the paper's platform
+(Skylake/Kaby Lake client parts, SGX v1):
+
+* EPC hit ≈ 200 cycles, EPC miss (secure page swap) ≈ 40 000 cycles
+  [paper Section I, citing SCONE].
+* ECALL/OCALL ≈ 8 000–14 000 cycles [paper Section II-A, citing HotCalls]; we use
+  the 10 000-cycle midpoint.
+* AES-NI bulk encryption ≈ 1–2.5 cycles/byte; CMAC (AES-based) similar with a
+  per-call setup cost.
+* DRAM random access ≈ 100 cycles; streaming bytes ≈ 0.5 cycles/byte.
+
+The model is deliberately linear: ``cost = base + per_byte * n``.  Everything
+the paper's evaluation varies (hit ratios, verification counts, bucket
+lengths, page-swap counts, OCALL counts) enters through *how many times* each
+primitive fires, which the simulator counts faithfully.  Benchmarks can
+perturb these constants for sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+PAGE_SIZE = 4096
+CACHELINE = 64
+
+#: Clock frequency used to convert simulated cycles to ops/s.  The paper's
+#: testbed is an Intel Core i7-7700 (4.2 GHz max turbo, single-thread runs).
+DEFAULT_CPU_HZ = 4.2e9
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs, in CPU cycles, for each primitive the simulator charges."""
+
+    # Memory accesses.  A "access" is one dependent (pointer-chasing) load;
+    # bytes beyond the first cacheline stream at ``mem_per_byte``.
+    untrusted_access: float = 100.0
+    epc_access: float = 200.0  # EPC hit incl. MEE decrypt (paper Section I)
+    mem_per_byte: float = 0.5
+
+    # Crossing the enclave boundary (paper Section II-A: 8k-14k cycles).
+    ecall: float = 10_000.0
+    ocall: float = 10_000.0
+
+    # Hardware secure paging: one EPC miss = page swap (paper Section I: ~40k).
+    page_swap: float = 40_000.0
+    # EWB additionally encrypts + writes back the evicted page, always
+    # (paper Section IV-C: EWB forces write-back regardless of dirtiness).
+    page_writeback: float = 8_000.0
+
+    # Crypto, performed inside the enclave with AES-NI.  The base costs
+    # model the SGX SDK's per-call overhead (sgx_rijndael128_cmac and
+    # sgx_aes_ctr_encrypt re-run the AES key schedule on every call).
+    mac_base: float = 800.0
+    mac_per_byte: float = 4.0
+    enc_base: float = 500.0
+    enc_per_byte: float = 2.5
+
+    # Small fixed costs.
+    hash_compute: float = 30.0  # bucket hash / key hint
+    compare_per_byte: float = 0.25
+    branch: float = 5.0  # generic in-enclave bookkeeping step
+
+    def access_cost(self, nbytes: int, *, in_epc: bool) -> float:
+        """Cost of one dependent access touching ``nbytes`` contiguous bytes."""
+        base = self.epc_access if in_epc else self.untrusted_access
+        extra = max(0, nbytes - CACHELINE)
+        return base + extra * self.mem_per_byte
+
+    def mac_cost(self, nbytes: int) -> float:
+        return self.mac_base + nbytes * self.mac_per_byte
+
+    def enc_cost(self, nbytes: int) -> float:
+        return self.enc_base + nbytes * self.enc_per_byte
+
+    def scaled(self, **overrides: float) -> "CostModel":
+        """Return a copy with some constants replaced (sensitivity studies)."""
+        return replace(self, **overrides)
+
+
+#: The default model used by every experiment unless overridden.
+DEFAULT_COSTS = CostModel()
+
+
+@dataclass
+class SgxPlatform:
+    """Platform-wide constants: EPC budget and clock frequency.
+
+    The paper's machine exposes 91 MB of usable EPC (``HeapMaxSize`` set to
+    91 MB so hardware paging never fires for Aria itself).  Experiments scale
+    ``epc_bytes`` together with the keyspace (DESIGN.md Section 4.6).
+    """
+
+    epc_bytes: int = 91 * 1024 * 1024
+    cpu_hz: float = DEFAULT_CPU_HZ
+    costs: CostModel = field(default_factory=CostModel)
+
+    def scaled(self, factor: float) -> "SgxPlatform":
+        """Scale the EPC budget by ``factor`` (costs and clock unchanged)."""
+        return SgxPlatform(
+            epc_bytes=max(1, int(self.epc_bytes * factor)),
+            cpu_hz=self.cpu_hz,
+            costs=self.costs,
+        )

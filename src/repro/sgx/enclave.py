@@ -1,0 +1,149 @@
+"""The enclave facade: the trusted side of the simulator.
+
+An :class:`Enclave` bundles the pieces every secure-KV design needs:
+
+* a cycle meter and cost model,
+* an EPC byte budget (software-managed structures reserve here),
+* optionally a paged enclave heap (for designs that rely on hardware secure
+  paging: Baseline and Aria w/o Cache),
+* the untrusted memory space,
+* session keys and a crypto backend.
+
+All code paths that "run inside the enclave" go through these methods so
+costs are charged uniformly: a read of untrusted memory pays the untrusted
+access cost, a MAC pays per-byte crypto cost plus the copy of its input into
+the enclave, an OCALL pays the boundary-crossing cost, and so on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from repro.crypto.backend import CryptoBackend, get_backend
+from repro.crypto.keys import KeyMaterial
+from repro.errors import IntegrityError
+from repro.sgx.costs import PAGE_SIZE, CostModel, SgxPlatform
+from repro.sgx.epc import EpcBudget
+from repro.sgx.memory import UntrustedMemory
+from repro.sgx.meter import CycleMeter
+from repro.sgx.paging import PagedEnclaveHeap
+
+
+class Enclave:
+    """Trusted execution context with cycle-accurate cost accounting."""
+
+    def __init__(
+        self,
+        platform: Optional[SgxPlatform] = None,
+        *,
+        keys: Optional[KeyMaterial] = None,
+        crypto_backend: str = "fast",
+        untrusted: Optional[UntrustedMemory] = None,
+        paged_heap_pages: Optional[int] = None,
+    ):
+        self.platform = platform or SgxPlatform()
+        self.costs: CostModel = self.platform.costs
+        self.meter = CycleMeter()
+        self.epc = EpcBudget(capacity=self.platform.epc_bytes)
+        self.untrusted = untrusted or UntrustedMemory()
+        self.keys = keys or KeyMaterial.from_seed(0)
+        self.crypto: CryptoBackend = get_backend(crypto_backend)
+        self.paged_heap: Optional[PagedEnclaveHeap] = None
+        if paged_heap_pages is not None:
+            self.paged_heap = PagedEnclaveHeap(paged_heap_pages, self.costs, self.meter)
+            # The paged heap consumes the whole EPC budget it was given.
+            self.epc.reserve("paged_heap", paged_heap_pages * PAGE_SIZE)
+
+    # -- boundary crossings --------------------------------------------------
+
+    def ecall(self) -> None:
+        """Enter the enclave (client request dispatch)."""
+        self.meter.charge_event("ecall", self.costs.ecall)
+
+    def ocall(self) -> None:
+        """Exit the enclave (e.g. an untrusted malloc without Aria's allocator)."""
+        self.meter.charge_event("ocall", self.costs.ocall)
+
+    # -- untrusted memory traffic ---------------------------------------------
+
+    def read_untrusted(self, addr: int, size: int) -> bytes:
+        """Dependent load from untrusted memory into enclave registers/stack."""
+        self.meter.charge_event(
+            "untrusted_access", self.costs.access_cost(size, in_epc=False)
+        )
+        return self.untrusted.read(addr, size)
+
+    def write_untrusted(self, addr: int, data: bytes) -> None:
+        self.meter.charge_event(
+            "untrusted_access", self.costs.access_cost(len(data), in_epc=False)
+        )
+        self.untrusted.write(addr, data)
+
+    # -- EPC-resident data traffic ---------------------------------------------
+
+    def epc_touch(self, nbytes: int = 8) -> None:
+        """One access to software-managed EPC data (Secure Cache, bitmaps...)."""
+        self.meter.charge_event("epc_access", self.costs.access_cost(nbytes, in_epc=True))
+
+    def epc_copy_in(self, nbytes: int) -> None:
+        """Copy ``nbytes`` from untrusted memory into the EPC (node swap-in)."""
+        self.meter.charge_event(
+            "untrusted_access", self.costs.access_cost(nbytes, in_epc=False)
+        )
+        self.meter.charge_event("epc_access", self.costs.access_cost(nbytes, in_epc=True))
+
+    # -- crypto (all executed inside the enclave) -------------------------------
+
+    def mac(self, message: bytes) -> bytes:
+        self.meter.charge_event("mac_bytes", self.costs.mac_cost(len(message)), len(message))
+        self.meter.count("mac_ops")
+        return self.crypto.mac(self.keys.mac_key, message)
+
+    def mac_verify(self, message: bytes, tag: bytes) -> bool:
+        self.meter.charge_event("mac_bytes", self.costs.mac_cost(len(message)), len(message))
+        self.meter.count("mac_ops")
+        return self.crypto.mac_verify(self.keys.mac_key, message, tag)
+
+    def require_mac(self, message: bytes, tag: bytes, what: str) -> None:
+        """Verify or raise :class:`IntegrityError` naming the protected object."""
+        if not self.mac_verify(message, tag):
+            raise IntegrityError(f"MAC mismatch on {what}: untrusted data modified")
+
+    def encrypt(self, counter: bytes, plaintext: bytes) -> bytes:
+        self.meter.charge_event(
+            "enc_bytes", self.costs.enc_cost(len(plaintext)), len(plaintext)
+        )
+        return self.crypto.encrypt(self.keys.encryption_key, counter, plaintext)
+
+    def decrypt(self, counter: bytes, ciphertext: bytes) -> bytes:
+        self.meter.charge_event(
+            "enc_bytes", self.costs.enc_cost(len(ciphertext)), len(ciphertext)
+        )
+        return self.crypto.decrypt(self.keys.encryption_key, counter, ciphertext)
+
+    # -- misc in-enclave work ----------------------------------------------------
+
+    def hash_key(self, key: bytes) -> int:
+        """Bucket hash / key-hint hash computed inside the enclave."""
+        self.meter.charge(self.costs.hash_compute)
+        return zlib.crc32(key)
+
+    def compare(self, a: bytes, b: bytes) -> bool:
+        self.meter.charge(self.costs.compare_per_byte * max(len(a), len(b)))
+        return a == b
+
+    def work(self, cycles: float) -> None:
+        """Charge generic in-enclave bookkeeping cycles."""
+        self.meter.charge(cycles)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def throughput(self, ops: int, snapshot_before=None) -> float:
+        """Ops/s given cycles charged since ``snapshot_before`` (or since 0)."""
+        cycles = self.meter.cycles
+        if snapshot_before is not None:
+            cycles -= snapshot_before.cycles
+        if cycles <= 0 or ops <= 0:
+            return 0.0
+        return self.platform.cpu_hz * ops / cycles

@@ -1,0 +1,54 @@
+"""EPC budget accounting for software-managed enclave structures.
+
+Aria promises low, bounded EPC occupation (Table I).  Every in-enclave
+structure — Secure Cache entries, pinned Merkle levels, the counter-occupancy
+bitmap, allocator chunk bitmaps, index entrances, per-bucket entry counts —
+reserves its bytes here, so experiments can report true EPC occupation and a
+too-small platform budget fails loudly instead of silently overcommitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError
+
+
+@dataclass
+class EpcBudget:
+    """Tracks bytes of EPC reserved by named consumers."""
+
+    capacity: int
+    _used: int = 0
+    _by_consumer: dict = field(default_factory=dict)
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def reserve(self, consumer: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` for ``consumer``; raises when over capacity."""
+        if nbytes < 0:
+            raise ValueError(f"cannot reserve {nbytes} bytes")
+        if self._used + nbytes > self.capacity:
+            raise CapacityError(
+                f"EPC exhausted: {consumer} wants {nbytes} B, "
+                f"{self.free} B free of {self.capacity} B"
+            )
+        self._used += nbytes
+        self._by_consumer[consumer] = self._by_consumer.get(consumer, 0) + nbytes
+
+    def release(self, consumer: str, nbytes: int) -> None:
+        held = self._by_consumer.get(consumer, 0)
+        if nbytes > held:
+            raise ValueError(f"{consumer} releasing {nbytes} B but holds {held} B")
+        self._by_consumer[consumer] = held - nbytes
+        self._used -= nbytes
+
+    def usage_report(self) -> dict:
+        """Per-consumer EPC bytes (Table I's 'EPC occupation' column)."""
+        return {k: v for k, v in sorted(self._by_consumer.items()) if v}

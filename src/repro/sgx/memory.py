@@ -1,0 +1,81 @@
+"""Byte-addressable untrusted memory.
+
+Everything Aria keeps outside the enclave — KV records, Merkle-tree node
+arrays, the counter area, hash buckets, B-tree nodes, the allocator free list
+— lives in one of these regions.  Addresses are plain integers; pointer
+fields serialized into records are 8-byte little-endian addresses into this
+space, which is what makes the Fig 7 pointer-swap attack expressible.
+
+The attacker interface (:meth:`UntrustedMemory.tamper`) mutates bytes without
+any cycle charge and without the enclave's involvement, modelling a malicious
+OS/hypervisor with full control of regular DRAM.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import AriaError
+
+#: Address 0 is reserved as the null pointer.
+NULL = 0
+
+
+class UntrustedMemory:
+    """A growing address space of allocated regions (bump allocator).
+
+    ``alloc`` returns stable integer addresses.  Reads and writes may cross
+    region boundaries only if the caller allocated them contiguously, which
+    the bump allocator guarantees never happens — each region is isolated,
+    and out-of-range accesses raise, catching address-arithmetic bugs early.
+    """
+
+    def __init__(self) -> None:
+        self._bases: list[int] = []
+        self._regions: list[bytearray] = []
+        self._next = 64  # small guard gap so that address 0 stays invalid
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(len(r) for r in self._regions)
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` zeroed bytes; returns the base address."""
+        if size <= 0:
+            raise AriaError(f"allocation size must be positive, got {size}")
+        base = self._next
+        self._bases.append(base)
+        self._regions.append(bytearray(size))
+        self._next = base + size + 64  # guard gap between regions
+        return base
+
+    def _locate(self, addr: int, size: int) -> tuple[bytearray, int]:
+        idx = bisect_right(self._bases, addr) - 1
+        if idx < 0:
+            raise AriaError(f"invalid untrusted address {addr:#x}")
+        base = self._bases[idx]
+        region = self._regions[idx]
+        offset = addr - base
+        if offset + size > len(region):
+            raise AriaError(
+                f"untrusted access [{addr:#x}, +{size}) crosses region bounds"
+            )
+        return region, offset
+
+    def read(self, addr: int, size: int) -> bytes:
+        region, offset = self._locate(addr, size)
+        return bytes(region[offset : offset + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        region, offset = self._locate(addr, len(data))
+        region[offset : offset + len(data)] = data
+
+    # -- attacker interface -------------------------------------------------
+
+    def tamper(self, addr: int, data: bytes) -> None:
+        """Adversarially overwrite bytes (no enclave involvement, no cost)."""
+        self.write(addr, data)
+
+    def snoop(self, addr: int, size: int) -> bytes:
+        """Adversarially read bytes (ciphertext is all an attacker sees)."""
+        return self.read(addr, size)

@@ -1,0 +1,90 @@
+"""Cycle accounting: the simulated performance counter of the enclave.
+
+Every enclave-side primitive charges cycles here.  Benchmarks snapshot the
+meter around an operation stream and convert ``cycles / ops`` into a
+throughput figure via the platform clock (``ops/s = cpu_hz / cycles_per_op``),
+mirroring the paper's single-thread throughput numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MeterSnapshot:
+    """An immutable point-in-time copy of the meter, for before/after diffs."""
+
+    cycles: float
+    events: Counter
+
+    def delta(self, later: "MeterSnapshot") -> "MeterSnapshot":
+        events = Counter(later.events)
+        events.subtract(self.events)
+        return MeterSnapshot(cycles=later.cycles - self.cycles, events=events)
+
+
+@dataclass
+class CycleMeter:
+    """Accumulates simulated cycles plus named event counts.
+
+    Event names used across the simulator:
+
+    - ``page_swap``, ``page_writeback`` — hardware secure paging
+    - ``ecall``, ``ocall`` — enclave boundary crossings
+    - ``mac_bytes``, ``enc_bytes`` — crypto volume
+    - ``mt_verify`` — Merkle-node MAC verifications
+    - ``cache_hit``, ``cache_miss``, ``cache_evict``, ``cache_writeback`` —
+      Secure Cache behaviour
+    - ``untrusted_access``, ``epc_access`` — memory traffic
+    """
+
+    cycles: float = 0.0
+    events: Counter = field(default_factory=Counter)
+    enabled: bool = True
+
+    def charge(self, cycles: float) -> None:
+        if self.enabled:
+            self.cycles += cycles
+
+    def count(self, event: str, n: int = 1) -> None:
+        if self.enabled:
+            self.events[event] += n
+
+    def charge_event(self, event: str, cycles: float, n: int = 1) -> None:
+        if self.enabled:
+            self.cycles += cycles
+            self.events[event] += n
+
+    def snapshot(self) -> MeterSnapshot:
+        return MeterSnapshot(cycles=self.cycles, events=Counter(self.events))
+
+    def reset(self) -> None:
+        self.cycles = 0.0
+        self.events.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        top = ", ".join(f"{k}={v}" for k, v in self.events.most_common(6))
+        return f"CycleMeter(cycles={self.cycles:.0f}, {top})"
+
+
+class MeterPause:
+    """Context manager that suspends charging (e.g. during bulk data load).
+
+    The paper's throughput numbers are for the steady-state run phase; the
+    load phase is excluded.  ``with MeterPause(meter): load()`` makes that
+    explicit and cheap.
+    """
+
+    def __init__(self, meter: CycleMeter):
+        self._meter = meter
+        self._was_enabled = meter.enabled
+
+    def __enter__(self) -> "MeterPause":
+        self._was_enabled = self._meter.enabled
+        self._meter.enabled = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._meter.enabled = self._was_enabled

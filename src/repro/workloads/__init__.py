@@ -1,0 +1,40 @@
+"""Workload generators: YCSB (uniform / zipfian), Facebook ETC, traces."""
+
+from repro.workloads.etc import EtcWorkload
+from repro.workloads.trace import (
+    DriftingWorkload,
+    TraceFormatError,
+    TraceWorkload,
+    read_trace,
+    record_to_bytes,
+    replay_from_bytes,
+    write_trace,
+)
+from repro.workloads.ycsb import KEY_SIZE, Operation, YcsbWorkload, make_key
+from repro.workloads.zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+    zeta,
+)
+
+__all__ = [
+    "KEY_SIZE",
+    "DriftingWorkload",
+    "EtcWorkload",
+    "Operation",
+    "TraceFormatError",
+    "TraceWorkload",
+    "read_trace",
+    "record_to_bytes",
+    "replay_from_bytes",
+    "write_trace",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "fnv1a_64",
+    "make_key",
+    "zeta",
+]

@@ -1,0 +1,115 @@
+"""Facebook ETC pool emulation (paper Section VI-B, after Atikoglu et al.).
+
+The paper models the ETC Memcached pool with fixed 16-byte keys and three
+value-size classes over a 10-million keyspace:
+
+* 40 % of keys are **tiny** (1-13 byte values),
+* 55 % are **small** (14-300 bytes),
+* 5 % are **large** (> 300 bytes).
+
+Requests over the tiny and small keys follow a zipfian distribution
+(theta = 0.99); large keys are chosen uniformly at random.  Four read ratios
+are evaluated: RD 0 / RD 50 / RD 95 / RD 100.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.workloads.ycsb import Operation, make_key
+from repro.workloads.zipf import ZipfianGenerator
+
+TINY_FRACTION = 0.40
+SMALL_FRACTION = 0.55
+LARGE_FRACTION = 0.05
+
+TINY_RANGE = (1, 13)
+SMALL_RANGE = (14, 300)
+LARGE_RANGE = (301, 1024)
+
+#: Fraction of requests aimed at the (zipfian) tiny+small population vs the
+#: uniformly chosen large population, proportional to population size.
+_LARGE_REQUEST_FRACTION = LARGE_FRACTION
+
+
+@dataclass
+class EtcWorkload:
+    """The ETC pool: mixed value sizes, zipf over tiny+small, uniform large."""
+
+    n_keys: int
+    read_ratio: float = 0.95
+    skew: float = 0.99
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+        if self.n_keys < 20:
+            raise ValueError("ETC needs a keyspace of at least 20 keys")
+        self._rng = random.Random(self.seed)
+        self._n_tiny = int(self.n_keys * TINY_FRACTION)
+        self._n_small = int(self.n_keys * SMALL_FRACTION)
+        self._n_large = self.n_keys - self._n_tiny - self._n_small
+
+    # -- key population -----------------------------------------------------------
+
+    def size_class(self, index: int) -> str:
+        if index < self._n_tiny:
+            return "tiny"
+        if index < self._n_tiny + self._n_small:
+            return "small"
+        return "large"
+
+    def _value_size_for(self, index: int) -> int:
+        """Deterministic per-key value size within the key's class range."""
+        lo, hi = {
+            "tiny": TINY_RANGE,
+            "small": SMALL_RANGE,
+            "large": LARGE_RANGE,
+        }[self.size_class(index)]
+        return lo + (index * 2654435761 % (hi - lo + 1))
+
+    def _fill(self, index: int, size: int) -> bytes:
+        pattern = b"%08x" % (index & 0xFFFFFFFF)
+        reps = -(-size // len(pattern))
+        return (pattern * reps)[:size]
+
+    def _value_for(self, index: int) -> bytes:
+        return self._fill(index, self._value_size_for(index))
+
+    def _op_value(self, index: int) -> bytes:
+        """A fresh value for an update: sizes vary within the key's class.
+
+        ETC values change size over a key's lifetime, which is what makes
+        in-place updates impossible and allocations frequent (the OCALL
+        cost AriaBase pays in Fig 12).
+        """
+        lo, hi = {
+            "tiny": TINY_RANGE,
+            "small": SMALL_RANGE,
+            "large": LARGE_RANGE,
+        }[self.size_class(index)]
+        return self._fill(index, self._rng.randint(lo, hi))
+
+    def load_items(self) -> Iterator[tuple[bytes, bytes]]:
+        for i in range(self.n_keys):
+            yield make_key(i), self._value_for(i)
+
+    # -- request stream -------------------------------------------------------------
+
+    def operations(self, n_ops: int) -> Iterator[Operation]:
+        zipf_population = self._n_tiny + self._n_small
+        zipf = ZipfianGenerator(zipf_population, self.skew, self._rng)
+        for _ in range(n_ops):
+            if self._n_large and self._rng.random() < _LARGE_REQUEST_FRACTION:
+                index = zipf_population + self._rng.randrange(self._n_large)
+            else:
+                index = zipf.next()
+            key = make_key(index)
+            if self._rng.random() < self.read_ratio:
+                yield Operation("get", key)
+            else:
+                yield Operation("put", key, self._op_value(index))

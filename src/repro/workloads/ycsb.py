@@ -1,0 +1,91 @@
+"""YCSB-style workloads (paper Section VI-A).
+
+The paper's microbenchmark grid: 16-byte keys, a 10-million keyspace, three
+read ratios (RD 50 / RD 95 / RD 100), three value sizes (16 / 128 / 512
+bytes), and two distributions (uniform, zipfian theta = 0.99).  Fig 2 also
+uses a 50 % read ratio with 16-byte values, and Fig 16b sweeps the skewness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.workloads.zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+KEY_SIZE = 16
+
+
+def make_key(index: int) -> bytes:
+    """A fixed 16-byte key, YCSB's ``user<digits>`` style."""
+    return b"u%015d" % index
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload operation: kind is 'get' or 'put'."""
+
+    kind: str
+    key: bytes
+    value: bytes = b""
+
+
+@dataclass
+class YcsbWorkload:
+    """A reproducible YCSB operation stream.
+
+    ``read_ratio`` is the Get fraction (0.0-1.0); ``distribution`` is
+    ``"zipfian"`` or ``"uniform"``; ``skew`` is the zipfian theta.
+    """
+
+    n_keys: int
+    read_ratio: float = 0.95
+    value_size: int = 16
+    #: "zipfian" (rank i = key i, hot keys contiguous — matching the locality
+    #: the paper's Fig 2/9 results imply), "scrambled" (YCSB's FNV-scattered
+    #: variant), or "uniform".
+    distribution: str = "zipfian"
+    skew: float = 0.99
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+        if self.distribution not in ("zipfian", "scrambled", "uniform"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        self._rng = random.Random(self.seed)
+
+    def _chooser(self):
+        if self.distribution == "zipfian":
+            return ZipfianGenerator(self.n_keys, self.skew, self._rng)
+        if self.distribution == "scrambled":
+            return ScrambledZipfianGenerator(self.n_keys, self.skew, self._rng)
+        return UniformGenerator(self.n_keys, self._rng)
+
+    def load_items(self) -> Iterator[tuple[bytes, bytes]]:
+        """The initial dataset: every key, with a value of ``value_size``."""
+        for i in range(self.n_keys):
+            yield make_key(i), self._value_for(i)
+
+    def _value_for(self, index: int) -> bytes:
+        # Deterministic, compressible-free filler derived from the index.
+        pattern = b"%08x" % (index & 0xFFFFFFFF)
+        reps = -(-self.value_size // len(pattern))
+        return (pattern * reps)[: self.value_size]
+
+    def operations(self, n_ops: int) -> Iterator[Operation]:
+        """The run-phase stream: reads and writes per ``read_ratio``."""
+        chooser = self._chooser()
+        for _ in range(n_ops):
+            index = chooser.next()
+            key = make_key(index)
+            if self._rng.random() < self.read_ratio:
+                yield Operation("get", key)
+            else:
+                yield Operation("put", key, self._value_for(index))

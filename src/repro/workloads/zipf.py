@@ -1,0 +1,103 @@
+"""Zipfian key choosers — YCSB's exact algorithms, reimplemented.
+
+The paper's skewed workloads use YCSB's default zipfian distribution
+(skewness theta = 0.99) and its sensitivity study sweeps theta up to 1.2
+(Fig 16b), citing recent trace studies that observe skew > 1.
+
+Two generators, matching YCSB semantics:
+
+* :class:`ZipfianGenerator` — rank-ordered: item 0 is the hottest.  Uses the
+  Gray et al. rejection-free inverse-CDF method YCSB implements.
+* :class:`ScrambledZipfianGenerator` — the rank sequence pushed through an
+  FNV-1a hash so hot items are spread across the keyspace, which is what
+  YCSB actually feeds to stores (hot keys should not be adjacent).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def zeta(n: int, theta: float) -> float:
+    """The generalized harmonic number sum_{i=1..n} 1/i^theta."""
+    return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+
+class ZipfianGenerator:
+    """Draws ranks in [0, n) with P(rank i) proportional to 1/(i+1)^theta."""
+
+    def __init__(self, n_items: int, theta: float = 0.99,
+                 rng: random.Random = None):
+        if n_items < 1:
+            raise ValueError("need at least one item")
+        if theta <= 0 or theta == 1.0:
+            raise ValueError("theta must be positive and != 1")
+        self._n = n_items
+        self._theta = theta
+        self._rng = rng or random.Random()
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = zeta(n_items, theta)
+        self._zeta2 = zeta(2, theta) if n_items >= 2 else self._zetan
+        self._eta = (1.0 - (2.0 / n_items) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        ) if n_items >= 2 else 0.0
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if self._n >= 2 and uz < 1.0 + 0.5 ** self._theta:
+            return 1
+        return int(self._n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def __iter__(self):
+        while True:
+            yield self.next()
+
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's hash)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks scattered over the keyspace via FNV-1a (YCSB default)."""
+
+    def __init__(self, n_items: int, theta: float = 0.99,
+                 rng: random.Random = None):
+        self._n = n_items
+        self._zipf = ZipfianGenerator(n_items, theta, rng)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self._n
+
+    def __iter__(self):
+        while True:
+            yield self.next()
+
+
+class UniformGenerator:
+    """Uniform key chooser — the paper's skew-free comparison point."""
+
+    def __init__(self, n_items: int, rng: random.Random = None):
+        if n_items < 1:
+            raise ValueError("need at least one item")
+        self._n = n_items
+        self._rng = rng or random.Random()
+
+    def next(self) -> int:
+        return self._rng.randrange(self._n)
+
+    def __iter__(self):
+        while True:
+            yield self.next()

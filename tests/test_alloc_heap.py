@@ -1,0 +1,148 @@
+"""User-space heap allocator tests, including attack detection and hypothesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.heap import HeapAllocator, OcallAllocator, _size_class
+from repro.errors import AllocationError, IntegrityError
+from repro.sgx.costs import SgxPlatform
+from repro.sgx.enclave import Enclave
+
+CHUNK = 64 * 1024  # small chunks keep tests fast
+
+
+def make_allocator(chunk_size=CHUNK):
+    enclave = Enclave(SgxPlatform(epc_bytes=1 << 20))
+    return HeapAllocator(enclave, chunk_size=chunk_size), enclave
+
+
+class TestSizeClasses:
+    def test_rounds_up_to_powers_of_two(self):
+        assert _size_class(1) == 32
+        assert _size_class(32) == 32
+        assert _size_class(33) == 64
+        assert _size_class(100) == 128
+        assert _size_class(4096) == 4096
+
+    def test_block_size_of_exposed(self):
+        alloc, _ = make_allocator()
+        assert alloc.block_size_of(48) == 64
+
+
+class TestHeapAllocator:
+    def test_alloc_returns_usable_untrusted_memory(self):
+        alloc, enclave = make_allocator()
+        addr = alloc.alloc(100)
+        enclave.untrusted.write(addr, b"z" * 100)
+        assert enclave.untrusted.read(addr, 100) == b"z" * 100
+
+    def test_no_ocall_on_alloc_or_free(self):
+        alloc, enclave = make_allocator()
+        addr = alloc.alloc(100)
+        alloc.free(addr, 100)
+        assert enclave.meter.events["ocall"] == 0
+
+    def test_distinct_blocks_until_freed(self):
+        alloc, _ = make_allocator()
+        addrs = {alloc.alloc(64) for _ in range(100)}
+        assert len(addrs) == 100
+
+    def test_free_then_alloc_reuses_block(self):
+        alloc, _ = make_allocator()
+        addr = alloc.alloc(64)
+        alloc.free(addr, 64)
+        assert alloc.alloc(64) == addr
+
+    def test_different_size_classes_use_different_chunks(self):
+        alloc, _ = make_allocator()
+        small = alloc.alloc(32)
+        large = alloc.alloc(1024)
+        assert abs(small - large) >= CHUNK // 2
+
+    def test_double_free_detected(self):
+        alloc, _ = make_allocator()
+        addr = alloc.alloc(64)
+        alloc.free(addr, 64)
+        with pytest.raises(IntegrityError, match="double free"):
+            alloc.free(addr, 64)
+
+    def test_attacked_free_list_detected(self):
+        # Point the untrusted free-list head's next pointer at an in-use
+        # block; the bitmap cross-check must catch the corruption.
+        alloc, enclave = make_allocator()
+        in_use = alloc.alloc(64)
+        victim = alloc.alloc(64)
+        alloc.free(victim, 64)  # head -> victim -> rest
+        enclave.untrusted.tamper(victim, in_use.to_bytes(8, "little"))
+        assert alloc.alloc(64) == victim  # pops the tampered entry
+        with pytest.raises(IntegrityError, match="attack"):
+            alloc.alloc(64)  # now pops the in-use block
+
+    def test_large_allocation_gets_dedicated_region(self):
+        alloc, enclave = make_allocator()
+        addr = alloc.alloc(CHUNK + 1)
+        enclave.untrusted.write(addr + CHUNK, b"!")
+        assert enclave.untrusted.read(addr + CHUNK, 1) == b"!"
+
+    def test_bitmap_reserves_epc(self):
+        alloc, enclave = make_allocator()
+        alloc.alloc(64)
+        report = enclave.epc.usage_report()
+        assert report.get("heap_allocator", 0) == (CHUNK // 64 + 7) // 8
+
+    def test_rejects_nonpositive_sizes(self):
+        alloc, _ = make_allocator()
+        with pytest.raises(AllocationError):
+            alloc.alloc(0)
+
+    def test_free_foreign_address_rejected(self):
+        alloc, enclave = make_allocator()
+        foreign = enclave.untrusted.alloc(64)
+        with pytest.raises(AllocationError):
+            alloc.free(foreign, 64)
+
+    def test_chunk_exhaustion_grows_new_chunk(self):
+        alloc, _ = make_allocator(chunk_size=1024)
+        addrs = [alloc.alloc(256) for _ in range(10)]  # > 4 per chunk
+        assert len(set(addrs)) == 10
+
+
+class TestOcallAllocator:
+    def test_each_alloc_and_free_pays_an_ocall(self):
+        enclave = Enclave(SgxPlatform(epc_bytes=1 << 20))
+        alloc = OcallAllocator(enclave)
+        addr = alloc.alloc(100)
+        alloc.free(addr, 100)
+        assert enclave.meter.events["ocall"] == 2
+
+    def test_rejects_nonpositive_sizes(self):
+        enclave = Enclave(SgxPlatform(epc_bytes=1 << 20))
+        with pytest.raises(AllocationError):
+            OcallAllocator(enclave).alloc(-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 2000)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_alloc_free_sequences_never_alias(ops):
+    """Property: live blocks of the same class never overlap, frees recycle."""
+    alloc, _ = make_allocator()
+    live: dict[int, int] = {}  # addr -> size
+    for action, size in ops:
+        if action == "alloc" or not live:
+            addr = alloc.alloc(size)
+            block = alloc.block_size_of(size)
+            for other, other_size in live.items():
+                other_block = alloc.block_size_of(other_size)
+                assert addr + block <= other or other + other_block <= addr
+            live[addr] = size
+        else:
+            addr, size_freed = next(iter(live.items()))
+            del live[addr]
+            alloc.free(addr, size_freed)

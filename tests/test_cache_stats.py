@@ -1,0 +1,76 @@
+"""CacheStats unit tests: windowing, threshold, patience mechanics."""
+
+from repro.cache.stats import CacheStats
+
+
+def feed(stats, hits, misses):
+    for _ in range(hits):
+        stats.record_hit()
+    for _ in range(misses):
+        stats.record_miss()
+
+
+class TestCounters:
+    def test_hit_ratio(self):
+        stats = CacheStats(window=1000)
+        feed(stats, hits=30, misses=10)
+        assert stats.accesses == 40
+        assert stats.hit_ratio == 0.75
+
+    def test_empty_ratio_is_zero(self):
+        assert CacheStats().hit_ratio == 0.0
+
+    def test_reset_counts_preserves_stop_decision(self):
+        stats = CacheStats(window=10, threshold=0.9)
+        feed(stats, hits=0, misses=10)
+        assert stats.stop_swap_recommended
+        stats.reset_counts()
+        assert stats.hits == stats.misses == 0
+        assert stats.stop_swap_recommended  # decision latches
+
+    def test_as_dict_fields(self):
+        stats = CacheStats()
+        feed(stats, 3, 1)
+        d = stats.as_dict()
+        assert d["hits"] == 3 and d["misses"] == 1
+        assert d["hit_ratio"] == 0.75
+
+
+class TestStopSwapDetector:
+    def test_no_recommendation_before_full_window(self):
+        stats = CacheStats(window=100, threshold=0.9)
+        feed(stats, hits=0, misses=99)
+        assert not stats.stop_swap_recommended
+
+    def test_recommended_after_one_low_window(self):
+        stats = CacheStats(window=100, threshold=0.9, patience=1)
+        feed(stats, hits=50, misses=50)
+        assert stats.stop_swap_recommended
+
+    def test_high_window_not_recommended(self):
+        stats = CacheStats(window=100, threshold=0.5, patience=1)
+        feed(stats, hits=80, misses=20)
+        assert not stats.stop_swap_recommended
+
+    def test_patience_requires_consecutive_low_windows(self):
+        stats = CacheStats(window=100, threshold=0.9, patience=3)
+        feed(stats, hits=0, misses=100)  # low window 1
+        feed(stats, hits=0, misses=100)  # low window 2
+        assert not stats.stop_swap_recommended
+        feed(stats, hits=0, misses=100)  # low window 3
+        assert stats.stop_swap_recommended
+
+    def test_good_window_resets_the_streak(self):
+        stats = CacheStats(window=100, threshold=0.9, patience=2)
+        feed(stats, hits=0, misses=100)   # low
+        feed(stats, hits=100, misses=0)   # good: streak resets
+        feed(stats, hits=0, misses=100)   # low again (streak 1)
+        assert not stats.stop_swap_recommended
+        feed(stats, hits=0, misses=100)   # streak 2
+        assert stats.stop_swap_recommended
+
+    def test_boundary_ratio_not_low(self):
+        # Exactly at the threshold counts as acceptable (strict less-than).
+        stats = CacheStats(window=100, threshold=0.5, patience=1)
+        feed(stats, hits=50, misses=50)
+        assert not stats.stop_swap_recommended

@@ -1,0 +1,68 @@
+"""CLI smoke tests: every subcommand runs and prints sensible output."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "get hello -> world" in out
+    assert "EPC usage" in out
+
+
+def test_demo_btree(capsys):
+    assert main(["demo", "--index", "btree"]) == 0
+    assert "world" in capsys.readouterr().out
+
+
+def test_workload(capsys):
+    code = main(["workload", "--keys", "2000", "--ops", "1000",
+                 "--scale", "4096"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "cycles/op" in out
+
+
+def test_workload_unknown_scheme(capsys):
+    assert main(["workload", "--scheme", "bogus"]) == 1
+    assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_bench_requires_names(capsys):
+    assert main(["bench"]) == 1
+    assert "available:" in capsys.readouterr().err
+
+
+def test_bench_unknown_name(capsys):
+    assert main(["bench", "fig99"]) == 1
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_bench_table1(capsys):
+    assert main(["bench", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "ShieldStore" in out
+
+
+def test_attack(capsys):
+    assert main(["attack"]) == 0
+    out = capsys.readouterr().out
+    assert "MISSED" not in out
+    assert "LEAKED" not in out
+    assert out.count("DETECTED") == 5
+
+
+def test_inspect(capsys):
+    assert main(["inspect", "--keys", "10000", "--scale", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "secure cache" in out
+    assert "merkle levels" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

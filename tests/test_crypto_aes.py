@@ -1,0 +1,88 @@
+"""AES-128 block cipher tests against FIPS-197 and NIST SP 800-38A vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES128, SBOX, INV_SBOX, expand_key
+
+# FIPS-197 Appendix B example.
+FIPS_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS_PLAINTEXT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+FIPS_CIPHERTEXT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+# FIPS-197 Appendix C.1 (AES-128).
+C1_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+C1_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+C1_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# NIST SP 800-38A F.1.1 ECB-AES128 block vectors.
+SP800_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SP800_BLOCKS = [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+]
+
+
+def test_sbox_known_entries():
+    # FIPS-197 Figure 7 spot checks.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_inv_sbox_is_inverse():
+    for value in range(256):
+        assert INV_SBOX[SBOX[value]] == value
+
+
+def test_key_expansion_first_and_last_round_keys():
+    round_keys = expand_key(FIPS_KEY)
+    assert len(round_keys) == 11
+    assert round_keys[0] == FIPS_KEY
+    # FIPS-197 Appendix A.1 final round key w40..w43.
+    assert round_keys[10] == bytes.fromhex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+
+
+def test_fips197_appendix_b():
+    cipher = AES128(FIPS_KEY)
+    assert cipher.encrypt_block(FIPS_PLAINTEXT) == FIPS_CIPHERTEXT
+
+
+def test_fips197_appendix_c1_roundtrip():
+    cipher = AES128(C1_KEY)
+    assert cipher.encrypt_block(C1_PLAINTEXT) == C1_CIPHERTEXT
+    assert cipher.decrypt_block(C1_CIPHERTEXT) == C1_PLAINTEXT
+
+
+@pytest.mark.parametrize("plaintext_hex,ciphertext_hex", SP800_BLOCKS)
+def test_sp800_38a_ecb_blocks(plaintext_hex, ciphertext_hex):
+    cipher = AES128(SP800_KEY)
+    plaintext = bytes.fromhex(plaintext_hex)
+    ciphertext = bytes.fromhex(ciphertext_hex)
+    assert cipher.encrypt_block(plaintext) == ciphertext
+    assert cipher.decrypt_block(ciphertext) == plaintext
+
+
+def test_encrypt_rejects_wrong_block_size():
+    cipher = AES128(FIPS_KEY)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"x" * 17)
+
+
+def test_key_expansion_rejects_wrong_key_size():
+    with pytest.raises(ValueError):
+        expand_key(b"x" * 24)
+
+
+def test_roundtrip_many_random_blocks():
+    import random
+
+    rng = random.Random(7)
+    key = bytes(rng.randrange(256) for _ in range(16))
+    cipher = AES128(key)
+    for _ in range(20):
+        block = bytes(rng.randrange(256) for _ in range(16))
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

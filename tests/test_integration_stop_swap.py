@@ -1,0 +1,132 @@
+"""Store-level integration tests across the stop-swap transition.
+
+Stop-swap (Section IV-E) is the most state-heavy transition in Aria: the cache
+flushes (dirty nodes propagate their MACs), its EPC reservation is
+repurposed for pinning, and the access path changes shape.  Data written
+before, during and after the transition must stay intact and verified.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import AriaConfig
+from repro.core.store import AriaStore
+from repro.errors import ReplayError
+from repro.sgx.costs import SgxPlatform
+
+
+def make_store(**overrides):
+    defaults = dict(
+        index="hash",
+        n_buckets=512,
+        initial_counters=1 << 13,
+        secure_cache_bytes=1 << 14,   # small: low hit ratio under uniform
+        pin_levels=1,
+        stop_swap_enabled=True,
+        stop_swap_window=512,
+        stop_swap_threshold=0.70,
+    )
+    defaults.update(overrides)
+    return AriaStore(AriaConfig(**defaults),
+                     platform=SgxPlatform(epc_bytes=8 << 20))
+
+
+def force_stop_swap(store, n_keys=4000):
+    rng = random.Random(1)
+    for _ in range(3000):
+        key = f"key-{rng.randrange(n_keys):05d}".encode()
+        try:
+            store.get(key)
+        except Exception:
+            pass
+    return store.counters.primary_cache()
+
+
+class TestTransition:
+    def test_uniform_traffic_triggers_stop(self):
+        store = make_store()
+        store.load((f"key-{i:05d}".encode(), b"v") for i in range(4000))
+        cache = force_stop_swap(store)
+        assert not cache.swapping
+        assert cache.cached_nodes == 0
+
+    def test_data_written_before_transition_survives(self):
+        store = make_store()
+        store.load((f"key-{i:05d}".encode(), b"v") for i in range(4000))
+        written = {}
+        rng = random.Random(2)
+        for i in range(200):  # dirty a spread of counters pre-transition
+            key = f"key-{rng.randrange(4000):05d}".encode()
+            value = f"marked-{i}".encode()
+            store.put(key, value)
+            written[key] = value
+        cache = force_stop_swap(store)
+        assert not cache.swapping
+        for key, value in written.items():
+            assert store.get(key) == value
+
+    def test_writes_after_transition_are_protected(self):
+        store = make_store()
+        store.load((f"key-{i:05d}".encode(), b"v") for i in range(4000))
+        force_stop_swap(store)
+        store.put(b"key-00042", b"post-transition")
+        assert store.get(b"key-00042") == b"post-transition"
+        # Tampering a counter leaf in untrusted memory is still caught:
+        # after stop-swap, every access verifies against pinned levels.
+        area = store.counters.areas[0]
+        cache = area.cache
+        if 0 not in cache.pinned_levels:
+            addr = area.tree.node_addr(0, 5)
+            byte = store.enclave.untrusted.snoop(addr, 1)[0]
+            store.enclave.untrusted.tamper(addr, bytes([byte ^ 1]))
+            with pytest.raises(ReplayError):
+                cache.read_counter(5 * area.tree.layout.arity)
+
+    def test_epc_usage_stays_within_budget_across_transition(self):
+        store = make_store()
+        store.load((f"key-{i:05d}".encode(), b"v") for i in range(4000))
+        force_stop_swap(store)
+        assert store.enclave.epc.used <= store.enclave.platform.epc_bytes
+
+    def test_transition_expands_pinned_levels(self):
+        store = make_store(secure_cache_bytes=1 << 17)
+        store.load((f"key-{i:05d}".encode(), b"v") for i in range(4000))
+        cache = store.counters.primary_cache()
+        before = set(cache.pinned_levels)
+        force_stop_swap(store)
+        assert set(cache.pinned_levels) >= before
+
+    def test_patience_delays_stop(self):
+        eager = make_store(stop_swap_patience=1)
+        patient = make_store(stop_swap_patience=100)  # effectively never
+        for store in (eager, patient):
+            store.load((f"key-{i:05d}".encode(), b"v") for i in range(4000))
+            force_stop_swap(store)
+        assert not eager.counters.primary_cache().swapping
+        assert patient.counters.primary_cache().swapping
+
+
+class TestMtExpansionIntegration:
+    def test_expansion_under_live_traffic(self):
+        store = make_store(initial_counters=64, expansion_counters=64,
+                           expansion_cache_bytes=1 << 12)
+        for i in range(300):  # far beyond one counter area
+            store.put(f"key-{i:04d}".encode(), f"v{i}".encode())
+        assert store.counters.n_areas >= 2
+        for i in range(300):
+            assert store.get(f"key-{i:04d}".encode()) == f"v{i}".encode()
+        store.index.audit()
+
+    def test_deletes_recycle_across_areas(self):
+        store = make_store(initial_counters=64, expansion_counters=64,
+                           expansion_cache_bytes=1 << 12)
+        for i in range(150):
+            store.put(f"key-{i:04d}".encode(), b"v")
+        areas_at_peak = store.counters.n_areas
+        for i in range(150):
+            store.delete(f"key-{i:04d}".encode())
+        for i in range(150):
+            store.put(f"new-{i:04d}".encode(), b"v")
+        # Freed counters were recycled: no new areas were needed.
+        assert store.counters.n_areas == areas_at_peak

@@ -1,0 +1,95 @@
+"""Section VI-D4 memory-consumption analysis, checked against the implementation.
+
+The paper enumerates the per-KV metadata: a 16-byte counter, a 16-byte MAC
+and an 8-byte RedPtr of security metadata; index metadata (key hint, value
+length, pointer for Aria-H; length + child pointer per tree-node slot); and
+allocator metadata (a bitmap bit plus a free-list entry per KV).  These
+tests pin the implementation to those numbers and to the Section IV-E
+level-pinning budget table.
+"""
+
+import pytest
+
+from repro.core.config import AriaConfig
+from repro.core.record import record_size
+from repro.core.store import AriaStore
+from repro.merkle.layout import MerkleLayout
+from repro.sgx.costs import SgxPlatform
+
+
+def make_store(**overrides):
+    defaults = dict(index="hash", n_buckets=256, initial_counters=4096,
+                    secure_cache_bytes=1 << 16, pin_levels=1,
+                    stop_swap_enabled=False)
+    defaults.update(overrides)
+    return AriaStore(AriaConfig(**defaults),
+                     platform=SgxPlatform(epc_bytes=8 << 20))
+
+
+class TestPerKeyMetadata:
+    def test_security_metadata_is_40_bytes(self):
+        # 16 B counter + 16 B MAC + 8 B RedPtr (Section VI-D4).
+        report = make_store().memory_report()
+        assert report["per_key_security_bytes"] == 40
+
+    def test_record_format_overhead(self):
+        # RedPtr(8) + k_len(2) + v_len(2) + MAC(16) = 28 B per record.
+        assert record_size(0, 0) == 28
+        assert record_size(16, 16) == 28 + 32
+
+    def test_counter_area_scales_with_keys(self):
+        # Ten million keys -> ~152 MiB of counters (Section VI-D4).
+        assert 10_000_000 * 16 / (1 << 20) == pytest.approx(152.6, abs=0.1)
+
+
+class TestMerkleFootprint:
+    def test_tree_overhead_fraction(self):
+        # The MT above the counters adds a geometric series ~1/(arity-1).
+        layout = MerkleLayout(n_counters=1_000_000, arity=8)
+        counters = layout.level_bytes(0)
+        tree_above = layout.total_bytes() - counters
+        assert tree_above / counters == pytest.approx(1 / 7, rel=0.05)
+
+    def test_level_pinning_budget_is_small(self):
+        # Section IV-E: pinning the top levels costs a tiny fraction of the MT.
+        layout = MerkleLayout(n_counters=10_000_000, arity=8)
+        top4 = layout.pinned_bytes(4)
+        assert top4 < layout.total_bytes() * 0.01
+
+    def test_level_sizes_shrink_by_arity(self):
+        layout = MerkleLayout(n_counters=1_000_000, arity=8)
+        sizes = layout.level_sizes()
+        for upper, lower in zip(sizes[1:], sizes[:-1]):
+            assert upper <= -(-lower // 8) + layout.node_size
+
+    def test_memory_report_tree_bytes_match_layout(self):
+        store = make_store()
+        layout = store.counters.areas[0].tree.layout
+        assert store.memory_report()["merkle_tree_bytes"] == \
+            layout.total_bytes()
+
+
+class TestEpcAccounting:
+    def test_total_epc_within_platform(self):
+        store = make_store()
+        for i in range(500):
+            store.put(f"key-{i}".encode(), b"v" * 16)
+        assert store.enclave.epc.used <= store.enclave.platform.epc_bytes
+
+    def test_untrusted_grows_with_data_epc_does_not(self):
+        store = make_store()
+        store.put(b"seed", b"v")
+        epc_before = store.enclave.epc.used
+        untrusted_before = store.enclave.untrusted.allocated_bytes
+        for i in range(400):
+            store.put(f"key-{i}".encode(), b"v" * 64)
+        # KV data lands in untrusted memory ...
+        assert store.enclave.untrusted.allocated_bytes > untrusted_before
+        # ... while EPC grows only by allocator bitmaps (chunk-granular).
+        epc_growth = store.enclave.epc.used - epc_before
+        assert epc_growth <= 4096
+
+    def test_epc_report_sums_to_used(self):
+        store = make_store()
+        store.put(b"k", b"v")
+        assert sum(store.epc_report().values()) == store.enclave.epc.used

@@ -1,0 +1,119 @@
+"""Merkle layout geometry tests (pure arithmetic, no enclave)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.merkle.layout import COUNTER_SIZE, MAC_SIZE, MerkleLayout
+
+
+class TestBasics:
+    def test_node_size_is_arity_times_16(self):
+        assert MerkleLayout(n_counters=100, arity=8).node_size == 128
+        assert MerkleLayout(n_counters=100, arity=2).node_size == 32
+
+    def test_level_counts_small_tree(self):
+        layout = MerkleLayout(n_counters=64, arity=4)
+        # 64 counters -> 16 leaf nodes -> 4 -> 1
+        assert layout.nodes_at_level(0) == 16
+        assert layout.nodes_at_level(1) == 4
+        assert layout.nodes_at_level(2) == 1
+        assert layout.n_levels == 3
+        assert layout.top_level == 2
+
+    def test_non_power_of_arity_rounds_up(self):
+        layout = MerkleLayout(n_counters=65, arity=4)
+        assert layout.nodes_at_level(0) == 17
+        assert layout.nodes_at_level(1) == 5
+        assert layout.nodes_at_level(2) == 2
+        assert layout.nodes_at_level(3) == 1
+        assert layout.n_levels == 4
+
+    def test_single_counter_tree(self):
+        layout = MerkleLayout(n_counters=1, arity=8)
+        assert layout.n_levels == 1
+        assert layout.nodes_at_level(0) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MerkleLayout(n_counters=10, arity=1)
+        with pytest.raises(ConfigurationError):
+            MerkleLayout(n_counters=0, arity=4)
+
+
+class TestAddressing:
+    def test_counter_slot(self):
+        layout = MerkleLayout(n_counters=100, arity=4)
+        assert layout.counter_slot(0) == (0, 0)
+        assert layout.counter_slot(3) == (0, 3 * COUNTER_SIZE)
+        assert layout.counter_slot(4) == (1, 0)
+        with pytest.raises(IndexError):
+            layout.counter_slot(100)
+
+    def test_parent_of(self):
+        layout = MerkleLayout(n_counters=64, arity=4)
+        assert layout.parent_of(0, 0) == (1, 0, 0)
+        assert layout.parent_of(0, 5) == (1, 1, MAC_SIZE)
+        with pytest.raises(IndexError):
+            layout.parent_of(layout.top_level, 0)
+
+    def test_children_of_clips_at_level_boundary(self):
+        layout = MerkleLayout(n_counters=65, arity=4)
+        # Level 1 node 4 covers only leaf node 16 (17 leaf nodes total).
+        assert list(layout.children_of(1, 4)) == [16]
+        with pytest.raises(IndexError):
+            layout.children_of(0, 0)
+
+
+class TestSizing:
+    def test_level_sizes_sum_to_total(self):
+        layout = MerkleLayout(n_counters=10_000, arity=8)
+        assert sum(layout.level_sizes()) == layout.total_bytes()
+
+    def test_pinned_bytes_monotone(self):
+        layout = MerkleLayout(n_counters=10_000, arity=8)
+        sizes = [layout.pinned_bytes(k) for k in range(layout.n_levels + 1)]
+        assert sizes[0] == 0
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == layout.total_bytes()
+
+    def test_pinning_top_levels_is_cheap(self):
+        # Section IV-E: pinning everything except level 0 costs a small fraction
+        # of the tree (1/arity of the counters, geometrically decreasing).
+        layout = MerkleLayout(n_counters=1_000_000, arity=8)
+        all_but_leaves = layout.pinned_bytes(layout.n_levels - 1)
+        assert all_but_leaves < layout.level_bytes(0) / 4
+
+    def test_pinned_level_set(self):
+        layout = MerkleLayout(n_counters=64, arity=4)  # levels 0,1,2
+        assert layout.pinned_level_set(0) == frozenset()
+        assert layout.pinned_level_set(2) == frozenset({2, 1})
+
+    def test_pinned_bytes_rejects_out_of_range(self):
+        layout = MerkleLayout(n_counters=64, arity=4)
+        with pytest.raises(ConfigurationError):
+            layout.pinned_bytes(99)
+
+
+@given(n=st.integers(1, 100_000), arity=st.integers(2, 16))
+def test_parent_child_arithmetic_consistent(n, arity):
+    """Property: every node is covered by exactly its computed parent slot."""
+    layout = MerkleLayout(n_counters=n, arity=arity)
+    for level in range(layout.n_levels - 1):
+        count = layout.nodes_at_level(level)
+        for index in (0, count // 2, count - 1):
+            parent_level, parent_index, offset = layout.parent_of(level, index)
+            assert parent_level == level + 1
+            assert index in layout.children_of(parent_level, parent_index)
+            assert offset == (index % arity) * MAC_SIZE
+
+
+@given(n=st.integers(2, 100_000), arity=st.integers(2, 16))
+def test_levels_shrink_geometrically(n, arity):
+    layout = MerkleLayout(n_counters=n, arity=arity)
+    for level in range(1, layout.n_levels):
+        assert layout.nodes_at_level(level) <= layout.nodes_at_level(level - 1)
+    assert layout.nodes_at_level(layout.top_level) == 1
+    if layout.n_levels > 1:
+        assert layout.nodes_at_level(layout.top_level - 1) > 1

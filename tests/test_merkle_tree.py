@@ -1,0 +1,110 @@
+"""Merkle tree storage tests: initialization, verification, tamper detection."""
+
+import random
+
+import pytest
+
+from repro.errors import ReplayError
+from repro.merkle.layout import MerkleLayout
+from repro.merkle.tree import MerkleTree
+from repro.sgx.costs import SgxPlatform
+from repro.sgx.enclave import Enclave
+from repro.sgx.meter import MeterPause
+
+
+def make_tree(n_counters=64, arity=4, epc=1 << 20):
+    enclave = Enclave(SgxPlatform(epc_bytes=epc))
+    with MeterPause(enclave.meter):
+        tree = MerkleTree(enclave, MerkleLayout(n_counters, arity),
+                          rng=random.Random(1))
+    return tree, enclave
+
+
+class TestInitialization:
+    def test_fresh_tree_verifies_everywhere(self):
+        tree, _ = make_tree()
+        for index in range(tree.layout.nodes_at_level(0)):
+            tree.verify_node_uncached(0, index)
+
+    def test_root_is_reserved_in_epc(self):
+        tree, enclave = make_tree()
+        assert enclave.epc.usage_report()["merkle_root"] == 16
+
+    def test_counters_are_randomized(self):
+        tree, _ = make_tree()
+        counters = {
+            tree.counter_from_node(tree.read_node(0, 0), i) for i in range(4)
+        }
+        assert len(counters) == 4  # 4 random 16-byte values don't collide
+
+    def test_deterministic_given_rng(self):
+        tree_a, _ = make_tree()
+        tree_b, _ = make_tree()
+        assert tree_a.root_mac == tree_b.root_mac
+
+
+class TestTamperDetection:
+    def test_flipped_leaf_byte_detected(self):
+        tree, enclave = make_tree()
+        addr = tree.node_addr(0, 3)
+        byte = enclave.untrusted.snoop(addr, 1)
+        enclave.untrusted.tamper(addr, bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(ReplayError):
+            tree.verify_node_uncached(0, 3)
+
+    def test_flipped_inner_node_detected(self):
+        tree, enclave = make_tree()
+        addr = tree.node_addr(1, 0)
+        enclave.untrusted.tamper(addr, b"\xde\xad")
+        with pytest.raises(ReplayError):
+            tree.verify_node_uncached(0, 0)
+
+    def test_replayed_leaf_detected(self):
+        # Record a leaf's old bytes, let the enclave change a counter (via a
+        # full rebuild of the node + upward path), then restore the old bytes.
+        tree, enclave = make_tree()
+        addr = tree.node_addr(0, 0)
+        stale = enclave.untrusted.snoop(addr, tree.layout.node_size)
+
+        # Legitimate in-enclave update of counter 0 with path maintenance.
+        node = bytearray(tree.read_node(0, 0))
+        tree.store_counter_in_node(node, 0, (777).to_bytes(16, "little"))
+        tree.write_node(0, 0, bytes(node))
+        level, index, data = 0, 0, bytes(node)
+        while level < tree.layout.top_level:
+            mac = tree.node_mac(data)
+            parent_level, parent_index, offset = tree.layout.parent_of(level, index)
+            parent = bytearray(tree.read_node(parent_level, parent_index))
+            parent[offset : offset + 16] = mac
+            tree.write_node(parent_level, parent_index, bytes(parent))
+            level, index, data = parent_level, parent_index, bytes(parent)
+        tree.set_root(tree.node_mac(data))
+        tree.verify_node_uncached(0, 0)  # sanity: consistent after update
+
+        # The replay: restore the stale (previously valid!) node bytes.
+        enclave.untrusted.tamper(addr, stale)
+        with pytest.raises(ReplayError):
+            tree.verify_node_uncached(0, 0)
+
+    def test_swapped_sibling_nodes_detected(self):
+        tree, enclave = make_tree()
+        a = enclave.untrusted.snoop(tree.node_addr(0, 0), tree.layout.node_size)
+        b = enclave.untrusted.snoop(tree.node_addr(0, 1), tree.layout.node_size)
+        enclave.untrusted.tamper(tree.node_addr(0, 0), b)
+        enclave.untrusted.tamper(tree.node_addr(0, 1), a)
+        with pytest.raises(ReplayError):
+            tree.verify_node_uncached(0, 0)
+
+
+class TestCosts:
+    def test_uncached_verification_charges_mac_per_level(self):
+        tree, enclave = make_tree(n_counters=256, arity=4)  # 4 node levels
+        enclave.meter.reset()
+        tree.verify_node_uncached(0, 0)
+        # One MAC per level: leaf, two inner, top (vs root).
+        assert enclave.meter.events["mt_verify"] == tree.layout.n_levels
+
+    def test_write_node_rejects_wrong_size(self):
+        tree, _ = make_tree()
+        with pytest.raises(ValueError):
+            tree.write_node(0, 0, b"short")

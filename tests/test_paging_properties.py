@@ -1,0 +1,66 @@
+"""Property-based tests for the hardware secure-paging simulator."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sgx.costs import PAGE_SIZE, CostModel
+from repro.sgx.meter import CycleMeter
+from repro.sgx.paging import PagedEnclaveHeap
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    epc_pages=st.integers(1, 8),
+    n_pages=st.integers(1, 24),
+    touches=st.lists(st.integers(0, 23), min_size=1, max_size=200),
+)
+def test_residency_never_exceeds_epc(epc_pages, n_pages, touches):
+    meter = CycleMeter()
+    heap = PagedEnclaveHeap(epc_pages, CostModel(), meter)
+    heap.alloc(n_pages * PAGE_SIZE)
+    for page in touches:
+        heap.touch(PAGE_SIZE + (page % n_pages) * PAGE_SIZE, 1)
+        assert heap.resident_pages <= epc_pages
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    epc_pages=st.integers(1, 8),
+    touches=st.lists(st.integers(0, 15), min_size=1, max_size=150),
+)
+def test_touched_page_is_resident_afterwards(epc_pages, touches):
+    meter = CycleMeter()
+    heap = PagedEnclaveHeap(epc_pages, CostModel(), meter)
+    heap.alloc(16 * PAGE_SIZE)
+    for page in touches:
+        addr = PAGE_SIZE + page * PAGE_SIZE
+        heap.touch(addr, 1)
+        # An immediate re-touch never faults.
+        assert heap.touch(addr, 1) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(touches=st.lists(st.integers(0, 30), min_size=10, max_size=300))
+def test_swap_count_equals_faults_and_writebacks_bounded(touches):
+    meter = CycleMeter()
+    heap = PagedEnclaveHeap(4, CostModel(), meter)
+    heap.alloc(31 * PAGE_SIZE)
+    faults = 0
+    for page in touches:
+        faults += heap.touch(PAGE_SIZE + page * PAGE_SIZE, 1)
+    assert meter.events["page_swap"] == faults
+    # Every write-back corresponds to an eviction, which needs a prior fill.
+    assert meter.events["page_writeback"] <= faults
+
+
+def test_infinite_epc_never_evicts():
+    meter = CycleMeter()
+    heap = PagedEnclaveHeap(1000, CostModel(), meter)
+    heap.alloc(100 * PAGE_SIZE)
+    rng = random.Random(0)
+    for _ in range(500):
+        heap.touch(PAGE_SIZE + rng.randrange(100) * PAGE_SIZE, 1)
+    assert meter.events["page_writeback"] == 0
+    assert meter.events["page_swap"] == heap.resident_pages

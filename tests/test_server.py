@@ -1,0 +1,147 @@
+"""Client-server mode tests: protocol framing, dispatch, ECALL amortization."""
+
+import pytest
+
+from repro.core.config import AriaConfig
+from repro.core.store import AriaStore
+from repro.errors import IntegrityError, KeyNotFoundError
+from repro.server import protocol
+from repro.server.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    STATUS_BAD_REQUEST,
+    STATUS_INTEGRITY_FAILURE,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+)
+from repro.server.server import AriaClient, AriaServer
+from repro.sgx.costs import SgxPlatform
+
+
+def make_server():
+    store = AriaStore(
+        AriaConfig(index="hash", n_buckets=64, initial_counters=2048,
+                   secure_cache_bytes=1 << 16, pin_levels=1,
+                   stop_swap_enabled=False),
+        platform=SgxPlatform(epc_bytes=4 << 20),
+    )
+    return AriaServer(store), store
+
+
+class TestProtocol:
+    def test_request_roundtrip(self):
+        for request in (protocol.get(b"k"), protocol.put(b"k", b"v"),
+                        protocol.delete(b"k")):
+            decoded, offset = protocol.decode_request(request.encode())
+            assert decoded == request
+            assert offset == len(request.encode())
+
+    def test_response_roundtrip(self):
+        response = Response(STATUS_OK, b"payload")
+        decoded, _ = protocol.decode_response(response.encode())
+        assert decoded == response
+
+    def test_batch_roundtrip(self):
+        requests = [protocol.put(b"a", b"1"), protocol.get(b"a"),
+                    protocol.delete(b"a")]
+        assert protocol.decode_batch(protocol.encode_batch(requests)) == \
+            requests
+
+    def test_malformed_frames_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b"\x09")  # truncated header
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(Request(9, b"k").encode())  # bad opcode
+        with pytest.raises(ProtocolError):
+            # Length field larger than the body.
+            protocol.decode_request(b"\x01\xff\x00\x00\x00\x00\x00ab")
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b"\x01\x00\x00\x00\x00\x00\x00")  # empty key
+        with pytest.raises(ProtocolError):
+            protocol.decode_batch(b"\x05\x00short")
+
+    def test_value_on_get_rejected(self):
+        raw = Request(protocol.OP_GET, b"k", b"sneaky").encode()
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(raw)
+
+    def test_trailing_garbage_in_batch_rejected(self):
+        raw = protocol.encode_batch([protocol.get(b"k")]) + b"junk"
+        with pytest.raises(ProtocolError):
+            protocol.decode_batch(raw)
+
+
+class TestServer:
+    def test_put_get_delete_roundtrip(self):
+        server, _ = make_server()
+        client = AriaClient(server)
+        client.put(b"k", b"v")
+        assert client.get(b"k") == b"v"
+        client.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            client.get(b"k")
+
+    def test_not_found_status(self):
+        server, _ = make_server()
+        raw = server.handle(protocol.get(b"ghost").encode())
+        response, _ = protocol.decode_response(raw)
+        assert response.status == STATUS_NOT_FOUND
+
+    def test_bad_request_status(self):
+        server, _ = make_server()
+        raw = server.handle(b"\xff garbage")
+        response, _ = protocol.decode_response(raw)
+        assert response.status == STATUS_BAD_REQUEST
+
+    def test_integrity_failure_surfaces_as_status(self):
+        server, store = make_server()
+        store.put(b"victim", b"value")
+        _, entry_addr, _, _, _ = store.index._find(b"victim")
+        byte = store.enclave.untrusted.snoop(entry_addr + 20, 1)[0]
+        store.enclave.untrusted.tamper(entry_addr + 20, bytes([byte ^ 1]))
+        raw = server.handle(protocol.get(b"victim").encode())
+        response, _ = protocol.decode_response(raw)
+        assert response.status == STATUS_INTEGRITY_FAILURE
+
+    def test_each_single_request_pays_one_ecall(self):
+        server, store = make_server()
+        client = AriaClient(server)
+        before = store.enclave.meter.events["ecall"]
+        for i in range(10):
+            client.put(b"k%d" % i, b"v")
+        assert store.enclave.meter.events["ecall"] - before == 10
+
+    def test_batching_amortizes_ecalls(self):
+        server, store = make_server()
+        requests = [protocol.put(b"key-%03d" % i, b"v") for i in range(100)]
+        client = AriaClient(server, batch_size=25)
+        before = store.enclave.meter.events["ecall"]
+        responses = client.pipeline(requests)
+        assert store.enclave.meter.events["ecall"] - before == 4
+        assert all(r.status == STATUS_OK for r in responses)
+
+    def test_batched_client_blocking_api(self):
+        server, _ = make_server()
+        client = AriaClient(server, batch_size=8)
+        client.put(b"k", b"v")
+        assert client.get(b"k") == b"v"
+
+    def test_batching_improves_cycles_per_op(self):
+        results = {}
+        for batch_size in (1, 32):
+            server, store = make_server()
+            client = AriaClient(server, batch_size=batch_size)
+            requests = [protocol.put(b"key-%03d" % i, b"v" * 16)
+                        for i in range(200)]
+            store.enclave.meter.reset()
+            client.pipeline(requests) if batch_size > 1 else [
+                client.put(b"key-%03d" % i, b"v" * 16) for i in range(200)
+            ]
+            results[batch_size] = store.enclave.meter.cycles / 200
+        assert results[32] < results[1] - 5000  # ~an ECALL saved per op
+
+    def test_rejects_zero_batch(self):
+        server, _ = make_server()
+        with pytest.raises(ValueError):
+            AriaClient(server, batch_size=0)

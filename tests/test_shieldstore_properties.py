@@ -1,0 +1,92 @@
+"""Property-based tests for the ShieldStore baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.shieldstore import ShieldStore
+from repro.errors import IntegrityError, KeyNotFoundError
+from repro.sgx.costs import SgxPlatform
+
+KEYS = [f"key-{i:03d}".encode() for i in range(30)]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "delete"]),
+        st.integers(0, len(KEYS) - 1),
+        st.binary(min_size=0, max_size=50),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=operations)
+def test_shieldstore_matches_dict_model(ops):
+    store = ShieldStore(n_buckets=8, platform=SgxPlatform(epc_bytes=2 << 20))
+    model = {}
+    for action, key_index, value in ops:
+        key = KEYS[key_index]
+        if action == "put":
+            store.put(key, value)
+            model[key] = value
+        elif action == "get":
+            if key in model:
+                assert store.get(key) == model[key]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    store.get(key)
+        else:
+            if key in model:
+                store.delete(key)
+                del model[key]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    store.delete(key)
+    assert len(store) == len(model)
+    assert sorted(store.keys()) == sorted(model)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_items=st.integers(1, 25),
+    victim=st.integers(0, 24),
+    offset=st.integers(0, 47),
+)
+def test_any_header_bitflip_is_detected(n_items, victim, offset):
+    """Flipping any byte of any entry header (counter/lengths/MAC region)
+    must be caught by the bucket-root verification."""
+    victim %= n_items
+    store = ShieldStore(n_buckets=2, platform=SgxPlatform(epc_bytes=2 << 20))
+    for i in range(n_items):
+        store.put(f"key-{i:03d}".encode(), b"value")
+    key = f"key-{victim:03d}".encode()
+    head_slot = store._bucket_base + store._bucket_slot(key)[0] * 8
+    addr = int.from_bytes(store.enclave.untrusted.snoop(head_slot, 8),
+                          "little")
+    # Walk to some entry in the chain and flip a header byte (the header is
+    # 48 bytes: next, hint, counter, lengths, MAC).
+    target = addr
+    byte = store.enclave.untrusted.snoop(target + offset, 1)[0]
+    store.enclave.untrusted.tamper(target + offset, bytes([byte ^ 0x01]))
+    # Flipping the 'next' pointer (offset < 8) or hint corrupts traversal
+    # or filtering; anything else corrupts verification inputs.  Every case
+    # must surface as an error, never as silently wrong data.
+    first_key = None
+    for i in range(n_items):
+        probe = f"key-{i:03d}".encode()
+        if store._bucket_slot(probe)[1] == head_slot:
+            first_key = probe
+            break
+    from repro.errors import AriaError
+
+    try:
+        value = store.get(first_key)
+    except AriaError:
+        # Detected (IntegrityError), or loudly broken (bad address /
+        # not-found after a hint flip — ShieldStore has no deletion
+        # detection, so a hidden entry surfaces as a miss, never as
+        # wrong data).
+        return
+    assert value == b"value"

@@ -1,0 +1,115 @@
+"""Public-API completeness: iteration, audit, and the Section VII padding sketch."""
+
+import pytest
+
+from repro.core.config import AriaConfig
+from repro.core.store import AriaStore
+from repro.errors import IntegrityError, ReplayError
+from repro.sgx.costs import SgxPlatform
+
+
+def make_store(**overrides):
+    defaults = dict(index="hash", n_buckets=64, initial_counters=2048,
+                    secure_cache_bytes=1 << 16, pin_levels=1,
+                    stop_swap_enabled=False)
+    defaults.update(overrides)
+    return AriaStore(AriaConfig(**defaults),
+                     platform=SgxPlatform(epc_bytes=8 << 20))
+
+
+class TestIteration:
+    def test_items_and_values(self):
+        store = make_store()
+        expected = {}
+        for i in range(30):
+            store.put(f"k{i:02d}".encode(), f"v{i}".encode())
+            expected[f"k{i:02d}".encode()] = f"v{i}".encode()
+        assert dict(store.items()) == expected
+        assert sorted(store.values()) == sorted(expected.values())
+
+    def test_iter_yields_keys(self):
+        store = make_store()
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        assert sorted(store) == [b"a", b"b"]
+
+
+class TestAudit:
+    def test_clean_store_audits(self):
+        store = make_store()
+        for i in range(100):
+            store.put(f"k{i:03d}".encode(), b"v")
+        store.audit()
+
+    def test_audit_catches_record_tampering(self):
+        store = make_store()
+        for i in range(50):
+            store.put(f"k{i:03d}".encode(), b"v")
+        _, entry_addr, _, _, _ = store.index._find(b"k007")
+        byte = store.enclave.untrusted.snoop(entry_addr + 20, 1)[0]
+        store.enclave.untrusted.tamper(entry_addr + 20, bytes([byte ^ 1]))
+        with pytest.raises(IntegrityError):
+            store.audit()
+
+    def test_audit_catches_merkle_tampering(self):
+        store = make_store()
+        for i in range(50):
+            store.put(f"k{i:03d}".encode(), b"v")
+        area = store.counters.areas[0]
+        # Tamper a leaf holding counters no live record references, so only
+        # the MT sweep (not a record check) can notice.
+        addr = area.tree.node_addr(0, area.tree.layout.nodes_at_level(0) - 1)
+        byte = store.enclave.untrusted.snoop(addr, 1)[0]
+        store.enclave.untrusted.tamper(addr, bytes([byte ^ 1]))
+        with pytest.raises((IntegrityError, ReplayError)):
+            store.audit()
+
+    def test_audit_works_for_all_indexes(self):
+        for index in ("hash", "btree", "bplustree"):
+            store = make_store(index=index, btree_order=5)
+            for i in range(40):
+                store.put(f"k{i:03d}".encode(), b"v")
+            store.audit()
+
+
+class TestDummyBucketReads:
+    def test_results_unchanged(self):
+        plain = make_store()
+        padded = make_store(dummy_bucket_reads=4)
+        for store in (plain, padded):
+            for i in range(60):
+                store.put(f"k{i:02d}".encode(), f"v{i}".encode())
+        for i in range(60):
+            key = f"k{i:02d}".encode()
+            assert padded.get(key) == plain.get(key)
+
+    def test_padding_costs_cycles(self):
+        plain = make_store()
+        padded = make_store(dummy_bucket_reads=4)
+        for store in (plain, padded):
+            store.load((f"k{i:02d}".encode(), b"v") for i in range(60))
+            store.enclave.meter.reset()
+            for _ in range(100):
+                store.get(b"k07")
+        assert padded.enclave.meter.cycles > plain.enclave.meter.cycles
+
+    def test_padding_blurs_access_frequencies(self):
+        # Count untrusted reads per bucket region: with padding, reads are
+        # spread over many buckets even though one key is requested.
+        padded = make_store(dummy_bucket_reads=4, n_buckets=64)
+        padded.load((f"k{i:02d}".encode(), b"v") for i in range(64))
+        index = padded.index
+        touched = set()
+        original = index._read_ptr
+
+        def spying_read_ptr(slot_addr):
+            if index._bucket_base <= slot_addr < \
+                    index._bucket_base + 64 * 8:
+                touched.add((slot_addr - index._bucket_base) // 8)
+            return original(slot_addr)
+
+        index._read_ptr = spying_read_ptr
+        for _ in range(50):
+            padded.get(b"k07")
+        # One hot key, yet dozens of buckets show read activity.
+        assert len(touched) > 20

@@ -1,0 +1,190 @@
+"""AriaStore with the B-tree index (Aria-T): functional and invariant tests."""
+
+import random
+
+import pytest
+
+from repro.core.config import AriaConfig
+from repro.core.store import AriaStore
+from repro.errors import KeyNotFoundError
+from repro.sgx.costs import SgxPlatform
+
+
+def make_store(order=5, **overrides):
+    defaults = dict(
+        index="btree",
+        btree_order=order,
+        initial_counters=1 << 12,
+        secure_cache_bytes=1 << 18,
+        stop_swap_enabled=False,
+        pin_levels=1,
+    )
+    defaults.update(overrides)
+    return AriaStore(AriaConfig(**defaults),
+                     platform=SgxPlatform(epc_bytes=16 << 20))
+
+
+def key_of(i):
+    return f"key-{i:06d}".encode()
+
+
+class TestBasicOperations:
+    def test_put_get_roundtrip(self):
+        store = make_store()
+        store.put(b"alpha", b"1")
+        assert store.get(b"alpha") == b"1"
+
+    def test_get_missing_raises(self):
+        store = make_store()
+        store.put(b"alpha", b"1")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"beta")
+
+    def test_updates_reuse_counter(self):
+        store = make_store()
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        store.put(b"k", b"a far longer value needing a fresh heap block!!!!")
+        assert store.get(b"k").startswith(b"a far longer")
+        assert len(store) == 1
+
+    def test_sorted_insert_splits(self):
+        store = make_store(order=3)
+        for i in range(50):
+            store.put(key_of(i), str(i).encode())
+        for i in range(50):
+            assert store.get(key_of(i)) == str(i).encode()
+        assert store.index.height > 1
+        store.index.audit()
+
+    def test_reverse_and_shuffled_inserts(self):
+        for ordering in (range(49, -1, -1), random.Random(5).sample(range(50), 50)):
+            store = make_store(order=3)
+            for i in ordering:
+                store.put(key_of(i), b"v")
+            assert list(store.keys()) == [key_of(i) for i in range(50)]
+            store.index.audit()
+
+    def test_keys_come_back_sorted(self):
+        store = make_store(order=5)
+        rng = random.Random(7)
+        inserted = rng.sample(range(1000), 200)
+        for i in inserted:
+            store.put(key_of(i), b"v")
+        assert list(store.keys()) == [key_of(i) for i in sorted(inserted)]
+
+
+class TestRangeScan:
+    def test_range_scan_bounds(self):
+        store = make_store(order=5)
+        for i in range(100):
+            store.put(key_of(i), str(i).encode())
+        results = store.range_scan(key_of(10), key_of(20))
+        assert [k for k, _ in results] == [key_of(i) for i in range(10, 20)]
+        assert results[0][1] == b"10"
+
+    def test_range_scan_empty_range(self):
+        store = make_store()
+        store.put(key_of(5), b"v")
+        assert store.range_scan(key_of(6), key_of(9)) == []
+
+    def test_range_scan_rejected_on_hash_index(self):
+        hash_store = AriaStore(AriaConfig(index="hash", n_buckets=8,
+                                          initial_counters=256,
+                                          secure_cache_bytes=1 << 16,
+                                          pin_levels=1),
+                               platform=SgxPlatform(epc_bytes=16 << 20))
+        with pytest.raises(TypeError):
+            hash_store.range_scan(b"a", b"z")
+
+
+class TestDeletion:
+    def test_delete_leaf_and_internal_keys(self):
+        store = make_store(order=3)
+        for i in range(60):
+            store.put(key_of(i), b"v")
+        rng = random.Random(9)
+        alive = set(range(60))
+        for i in rng.sample(range(60), 40):
+            store.delete(key_of(i))
+            alive.discard(i)
+            store.index.audit()
+        assert list(store.keys()) == [key_of(i) for i in sorted(alive)]
+
+    def test_delete_everything_then_reuse(self):
+        store = make_store(order=3)
+        for i in range(30):
+            store.put(key_of(i), b"v")
+        for i in range(30):
+            store.delete(key_of(i))
+        assert len(store) == 0
+        assert store.index.height == 1
+        store.put(b"fresh", b"start")
+        assert store.get(b"fresh") == b"start"
+
+    def test_delete_missing_raises(self):
+        store = make_store()
+        store.put(b"a", b"v")
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"b")
+
+    def test_height_shrinks_after_mass_deletion(self):
+        store = make_store(order=3)
+        for i in range(100):
+            store.put(key_of(i), b"v")
+        tall = store.index.height
+        for i in range(95):
+            store.delete(key_of(i))
+        assert store.index.height < tall
+        store.index.audit()
+
+
+class TestMixedWorkload:
+    def test_random_ops_match_model(self):
+        store = make_store(order=5)
+        model = {}
+        rng = random.Random(13)
+        for _ in range(600):
+            action = rng.choice(["put", "put", "get", "delete"])
+            key = key_of(rng.randrange(80))
+            if action == "put":
+                value = f"value-{rng.randrange(1000)}".encode()
+                store.put(key, value)
+                model[key] = value
+            elif action == "get":
+                if key in model:
+                    assert store.get(key) == model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        store.get(key)
+            else:
+                if key in model:
+                    store.delete(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        store.delete(key)
+        assert len(store) == len(model)
+        for key, value in model.items():
+            assert store.get(key) == value
+        store.index.audit()
+
+
+class TestCostProfile:
+    def test_btree_get_costs_more_than_hash_get(self):
+        # The paper's Fig 9 vs Fig 10: tree descent decrypts every probed
+        # record, the hash index skips almost everything via key hints.
+        tree_store = make_store(order=15)
+        hash_store = AriaStore(
+            AriaConfig(index="hash", n_buckets=4096, initial_counters=1 << 12,
+                       secure_cache_bytes=1 << 18, pin_levels=1,
+                       stop_swap_enabled=False),
+            platform=SgxPlatform(epc_bytes=16 << 20),
+        )
+        for store in (tree_store, hash_store):
+            store.load((key_of(i), b"v" * 16) for i in range(1000))
+        for store in (tree_store, hash_store):
+            store.enclave.meter.reset()
+            for i in range(0, 1000, 10):
+                store.get(key_of(i))
+        assert tree_store.enclave.meter.cycles > 2 * hash_store.enclave.meter.cycles

@@ -1,0 +1,174 @@
+"""AriaStore with the hash-table index (Aria-H): functional tests."""
+
+import random
+
+import pytest
+
+from repro.core.config import AriaConfig
+from repro.core.store import AriaStore
+from repro.errors import DeletionError, KeyNotFoundError
+from repro.sgx.costs import SgxPlatform
+
+
+def make_store(**overrides):
+    defaults = dict(
+        index="hash",
+        n_buckets=64,
+        initial_counters=1 << 12,
+        secure_cache_bytes=1 << 18,
+        stop_swap_enabled=False,
+        pin_levels=1,
+    )
+    defaults.update(overrides)
+    return AriaStore(AriaConfig(**defaults),
+                     platform=SgxPlatform(epc_bytes=16 << 20))
+
+
+class TestBasicOperations:
+    def test_put_get_roundtrip(self):
+        store = make_store()
+        store.put(b"user:1", b"Alice")
+        assert store.get(b"user:1") == b"Alice"
+
+    def test_get_missing_raises(self):
+        store = make_store()
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"ghost")
+
+    def test_update_overwrites(self):
+        store = make_store()
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert len(store) == 1
+
+    def test_update_with_longer_value(self):
+        store = make_store()
+        store.put(b"k", b"short")
+        store.put(b"k", b"a much longer value that will not fit in place " * 4)
+        assert store.get(b"k").startswith(b"a much longer")
+
+    def test_update_with_shorter_value(self):
+        store = make_store()
+        store.put(b"k", b"a fairly long initial value for this key")
+        store.put(b"k", b"s")
+        assert store.get(b"k") == b"s"
+
+    def test_delete_removes(self):
+        store = make_store()
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k")
+        assert len(store) == 0
+
+    def test_delete_missing_raises(self):
+        store = make_store()
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"ghost")
+
+    def test_contains(self):
+        store = make_store()
+        store.put(b"here", b"v")
+        assert b"here" in store
+        assert b"gone" not in store
+
+    def test_empty_value_and_binary_keys(self):
+        store = make_store()
+        key = bytes(range(16))
+        store.put(key, b"")
+        assert store.get(key) == b""
+
+    def test_many_keys_collide_in_buckets(self):
+        # 500 keys in 64 buckets: every bucket chains; all still resolve.
+        store = make_store()
+        for i in range(500):
+            store.put(f"key-{i}".encode(), f"value-{i}".encode())
+        for i in range(500):
+            assert store.get(f"key-{i}".encode()) == f"value-{i}".encode()
+        assert len(store) == 500
+
+    def test_keys_iteration_complete(self):
+        store = make_store()
+        expected = set()
+        for i in range(100):
+            store.put(f"k{i}".encode(), b"v")
+            expected.add(f"k{i}".encode())
+        assert set(store.keys()) == expected
+
+    def test_delete_middle_of_chain(self):
+        # All keys in one bucket: delete first, middle, last in turn.
+        store = make_store(n_buckets=1)
+        for i in range(5):
+            store.put(f"k{i}".encode(), f"v{i}".encode())
+        store.delete(b"k2")  # middle
+        store.delete(b"k0")  # head
+        store.delete(b"k4")  # tail
+        assert store.get(b"k1") == b"v1"
+        assert store.get(b"k3") == b"v3"
+        assert len(store) == 2
+
+    def test_reinsert_after_delete_reuses_counters(self):
+        store = make_store(initial_counters=4, n_buckets=4,
+                           expansion_counters=4)
+        for round_number in range(5):
+            for i in range(4):
+                store.put(f"k{i}".encode(), f"v{round_number}".encode())
+            for i in range(4):
+                store.delete(f"k{i}".encode())
+        # Never needed a second counter area: everything recycled.
+        assert store.counters.n_areas == 1
+
+
+class TestMixedWorkload:
+    def test_random_ops_match_model(self):
+        store = make_store()
+        model = {}
+        rng = random.Random(11)
+        for _ in range(800):
+            action = rng.choice(["put", "put", "get", "delete"])
+            key = f"key-{rng.randrange(60)}".encode()
+            if action == "put":
+                value = f"value-{rng.randrange(1000)}".encode()
+                store.put(key, value)
+                model[key] = value
+            elif action == "get":
+                if key in model:
+                    assert store.get(key) == model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        store.get(key)
+            else:
+                if key in model:
+                    store.delete(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        store.delete(key)
+        assert len(store) == len(model)
+        for key, value in model.items():
+            assert store.get(key) == value
+        store.index.audit()
+
+
+class TestReporting:
+    def test_epc_report_names_all_consumers(self):
+        store = make_store()
+        store.put(b"k", b"v")
+        report = store.epc_report()
+        for consumer in ("secure_cache", "merkle_root", "hash_index",
+                         "counter_bitmap"):
+            assert consumer in report
+
+    def test_memory_report_fields(self):
+        store = make_store()
+        report = store.memory_report()
+        assert report["per_key_security_bytes"] == 40  # 16 ctr + 16 MAC + 8 ptr
+        assert report["merkle_tree_bytes"] > 0
+        assert report["epc_bytes"] > 0
+
+    def test_load_is_unmetered(self):
+        store = make_store()
+        store.load((f"k{i}".encode(), b"v") for i in range(50))
+        assert store.enclave.meter.cycles == 0
+        assert store.get(b"k0") == b"v"

@@ -1,0 +1,143 @@
+"""Trace record/replay and hotset-drift workload tests."""
+
+import io
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.trace import (
+    DriftingWorkload,
+    TraceFormatError,
+    TraceWorkload,
+    read_trace,
+    record_to_bytes,
+    replay_from_bytes,
+    write_trace,
+)
+from repro.workloads.ycsb import Operation, YcsbWorkload
+
+
+class TestTraceFormat:
+    def test_roundtrip(self):
+        ops = [Operation("get", b"alpha"), Operation("put", b"beta", b"v1"),
+               Operation("get", b"gamma")]
+        assert replay_from_bytes(record_to_bytes(ops)) == ops
+
+    def test_empty_trace(self):
+        assert replay_from_bytes(record_to_bytes([])) == []
+
+    def test_binary_keys_and_values(self):
+        ops = [Operation("put", bytes(range(256)), b"\x00\xff" * 100)]
+        assert replay_from_bytes(record_to_bytes(ops)) == ops
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceFormatError):
+            replay_from_bytes(b"NOPE\x01\x00\x00\x00")
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            replay_from_bytes(b"AT")
+
+    def test_truncated_body_rejected(self):
+        blob = record_to_bytes([Operation("put", b"key", b"value")])
+        with pytest.raises(TraceFormatError):
+            replay_from_bytes(blob[:-2])
+
+    def test_unsupported_version_rejected(self):
+        blob = bytearray(record_to_bytes([]))
+        blob[4] = 99
+        with pytest.raises(TraceFormatError):
+            replay_from_bytes(bytes(blob))
+
+    def test_delete_ops_not_recordable(self):
+        with pytest.raises(TraceFormatError):
+            record_to_bytes([Operation("delete", b"k")])
+
+    def test_streaming_read(self):
+        ops = [Operation("get", b"key-%d" % i) for i in range(100)]
+        stream = io.BytesIO()
+        assert write_trace(stream, ops) == 100
+        stream.seek(0)
+        assert sum(1 for _ in read_trace(stream)) == 100
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["get", "put"]),
+                  st.binary(min_size=1, max_size=32),
+                  st.binary(max_size=64)),
+        max_size=40,
+    ))
+    def test_roundtrip_property(self, raw):
+        ops = [Operation(kind, key, value if kind == "put" else b"")
+               for kind, key, value in raw]
+        assert replay_from_bytes(record_to_bytes(ops)) == ops
+
+
+class TestTraceWorkload:
+    def test_ycsb_trace_replays_identically(self):
+        source = YcsbWorkload(n_keys=200, read_ratio=0.9, seed=5)
+        recorded = record_to_bytes(source.operations(300))
+        workload = TraceWorkload(trace=recorded, n_keys=200)
+        replayed = list(workload.operations(300))
+        assert replayed == list(
+            YcsbWorkload(n_keys=200, read_ratio=0.9, seed=5).operations(300)
+        )
+
+    def test_op_limit_respected(self):
+        source = YcsbWorkload(n_keys=50, seed=1)
+        workload = TraceWorkload(trace=record_to_bytes(source.operations(100)),
+                                 n_keys=50)
+        assert sum(1 for _ in workload.operations(10)) == 10
+
+    def test_runs_through_the_harness(self):
+        from repro.bench.harness import build_aria, load_and_run, \
+            scaled_platform
+
+        source = YcsbWorkload(n_keys=2000, read_ratio=0.95, seed=2)
+        workload = TraceWorkload(
+            trace=record_to_bytes(source.operations(4000)), n_keys=2000,
+        )
+        store = build_aria(n_keys=2000, platform=scaled_platform(2048))
+        run = load_and_run(store, workload, 1000, scheme="aria",
+                           warmup_ops=0)
+        assert run.throughput > 0
+
+
+class TestDriftingWorkload:
+    def test_stationary_when_period_none(self):
+        drifting = DriftingWorkload(n_keys=500, drift_period=None, seed=3)
+        counts = Counter(op.key for op in drifting.operations(5000))
+        # Stationary zipf: the single hottest key dominates.
+        assert counts.most_common(1)[0][1] > 200
+
+    def test_drift_moves_the_hot_set(self):
+        drifting = DriftingWorkload(n_keys=500, drift_period=1000, seed=4)
+        first = Counter(op.key for op in
+                        list(drifting.operations(4000))[:1000])
+        # The same stream's final window, after three drifts:
+        stream = list(DriftingWorkload(n_keys=500, drift_period=1000,
+                                       seed=4).operations(4000))
+        last = Counter(op.key for op in stream[3000:])
+        assert first.most_common(1)[0][0] != last.most_common(1)[0][0]
+
+    def test_fixed_step_drift(self):
+        drifting = DriftingWorkload(n_keys=100, drift_period=10,
+                                    drift_step=50, skew=1.2, seed=5,
+                                    read_ratio=1.0)
+        ops = list(drifting.operations(20))
+        # With extreme skew, the modal key of each period differs by the step.
+        first_mode = Counter(o.key for o in ops[:10]).most_common(1)[0][0]
+        second_mode = Counter(o.key for o in ops[10:]).most_common(1)[0][0]
+        assert first_mode != second_mode
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftingWorkload(n_keys=10, read_ratio=2.0)
+        with pytest.raises(ValueError):
+            DriftingWorkload(n_keys=10, drift_period=0)
+
+    def test_load_items_cover_keyspace(self):
+        drifting = DriftingWorkload(n_keys=64)
+        assert sum(1 for _ in drifting.load_items()) == 64

@@ -1,0 +1,147 @@
+"""Workload generator tests: distribution shape, determinism, mixes."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.etc import EtcWorkload
+from repro.workloads.ycsb import YcsbWorkload, make_key
+from repro.workloads.zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+    zeta,
+)
+
+
+class TestZipf:
+    def test_zeta_known_values(self):
+        assert zeta(1, 0.99) == 1.0
+        assert zeta(2, 1.0 - 1e-12) == pytest.approx(1.5, abs=1e-6)
+
+    def test_ranks_in_range(self):
+        gen = ZipfianGenerator(100, 0.99, random.Random(1))
+        for _ in range(2000):
+            assert 0 <= gen.next() < 100
+
+    def test_rank_zero_is_hottest(self):
+        gen = ZipfianGenerator(1000, 0.99, random.Random(2))
+        counts = Counter(gen.next() for _ in range(20000))
+        assert counts[0] > counts[10] > counts.get(500, 0)
+
+    def test_higher_theta_is_more_skewed(self):
+        def top1_share(theta):
+            gen = ZipfianGenerator(1000, theta, random.Random(3))
+            counts = Counter(gen.next() for _ in range(20000))
+            return counts[0] / 20000
+
+        assert top1_share(1.2) > top1_share(0.8)
+
+    def test_scrambled_spreads_hot_keys(self):
+        gen = ScrambledZipfianGenerator(1000, 0.99, random.Random(4))
+        counts = Counter(gen.next() for _ in range(20000))
+        hottest = counts.most_common(2)
+        # Hot keys are hashed apart: the two hottest are not neighbours.
+        assert abs(hottest[0][0] - hottest[1][0]) > 1
+
+    def test_fnv_reference_value(self):
+        # FNV-1a of eight zero bytes.
+        h = fnv1a_64(0)
+        assert h != 0
+        assert h == fnv1a_64(0)  # deterministic
+        assert fnv1a_64(1) != h
+
+    def test_uniform_covers_space(self):
+        gen = UniformGenerator(50, random.Random(5))
+        seen = {gen.next() for _ in range(5000)}
+        assert len(seen) == 50
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+
+
+class TestYcsb:
+    def test_keys_are_16_bytes(self):
+        workload = YcsbWorkload(n_keys=100)
+        assert all(len(k) == 16 for k, _ in workload.load_items())
+        assert make_key(0) != make_key(1)
+
+    def test_load_covers_all_keys_once(self):
+        workload = YcsbWorkload(n_keys=100)
+        keys = [k for k, _ in workload.load_items()]
+        assert len(set(keys)) == 100
+
+    def test_value_sizes_respected(self):
+        for size in (16, 128, 512):
+            workload = YcsbWorkload(n_keys=10, value_size=size)
+            assert all(len(v) == size for _, v in workload.load_items())
+
+    def test_read_ratio_mix(self):
+        workload = YcsbWorkload(n_keys=100, read_ratio=0.95, seed=6)
+        ops = list(workload.operations(5000))
+        reads = sum(1 for op in ops if op.kind == "get")
+        assert 0.92 < reads / 5000 < 0.98
+
+    def test_all_writes_at_rd0(self):
+        workload = YcsbWorkload(n_keys=100, read_ratio=0.0, seed=7)
+        assert all(op.kind == "put" for op in workload.operations(500))
+
+    def test_deterministic_given_seed(self):
+        a = list(YcsbWorkload(n_keys=50, seed=8).operations(100))
+        b = list(YcsbWorkload(n_keys=50, seed=8).operations(100))
+        assert a == b
+
+    def test_zipfian_ops_are_skewed(self):
+        workload = YcsbWorkload(n_keys=1000, distribution="zipfian", seed=9)
+        counts = Counter(op.key for op in workload.operations(20000))
+        top_share = sum(c for _, c in counts.most_common(10)) / 20000
+        assert top_share > 0.25  # top-1% of keys take >25% of traffic
+
+    def test_uniform_ops_are_not_skewed(self):
+        workload = YcsbWorkload(n_keys=1000, distribution="uniform", seed=10)
+        counts = Counter(op.key for op in workload.operations(20000))
+        top_share = sum(c for _, c in counts.most_common(10)) / 20000
+        assert top_share < 0.05
+
+
+class TestEtc:
+    def test_size_class_fractions(self):
+        workload = EtcWorkload(n_keys=10_000)
+        classes = Counter(workload.size_class(i) for i in range(10_000))
+        assert classes["tiny"] == 4000
+        assert classes["small"] == 5500
+        assert classes["large"] == 500
+
+    def test_value_sizes_within_class_ranges(self):
+        workload = EtcWorkload(n_keys=1000)
+        for i, (key, value) in enumerate(workload.load_items()):
+            cls = workload.size_class(i)
+            if cls == "tiny":
+                assert 1 <= len(value) <= 13
+            elif cls == "small":
+                assert 14 <= len(value) <= 300
+            else:
+                assert len(value) > 300
+
+    def test_requests_favour_hot_small_keys(self):
+        workload = EtcWorkload(n_keys=1000, seed=11)
+        counts = Counter(op.key for op in workload.operations(20000))
+        top_share = sum(c for _, c in counts.most_common(10)) / 20000
+        assert top_share > 0.2
+
+    def test_read_ratio_zero_and_one(self):
+        all_writes = EtcWorkload(n_keys=100, read_ratio=0.0, seed=12)
+        assert all(op.kind == "put" for op in all_writes.operations(200))
+        all_reads = EtcWorkload(n_keys=100, read_ratio=1.0, seed=12)
+        assert all(op.kind == "get" for op in all_reads.operations(200))
+
+    def test_rejects_tiny_keyspace(self):
+        with pytest.raises(ValueError):
+            EtcWorkload(n_keys=5)
