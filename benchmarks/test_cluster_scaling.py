@@ -1,0 +1,64 @@
+"""Cluster serving layer: scaling with shard count + hot-shard rebalancing.
+
+Extends Fig 16a from isolated per-tenant stores to a routed cluster.
+Expected shape (all simulated cycles, never wall-clock):
+
+* the serving layer is cheap: routed-cluster aggregate throughput stays
+  within 10 % of N independent stores at every shard count (the ring is
+  untrusted front-end work; only partial batches cost enclave cycles);
+* sharding scales: 4 shards beat 1 shard substantially on one EPC budget;
+* a deliberately skewed ring under zipf 0.99 craters aggregate throughput
+  (the hot shard is the straggler), and enabling the balancer recovers
+  >= 20 % of the loss via key-range migration through the trusted path.
+"""
+
+from repro.bench.experiments import cluster_rebalance, cluster_scaling
+
+from conftest import bench_scale
+
+
+def test_cluster_scaling(run_experiment):
+    result = run_experiment(cluster_scaling, scale=bench_scale(2048),
+                            n_ops=3000)
+
+    def tp(mode, shards):
+        return result.throughput(mode=mode, shards=shards)
+
+    # (a) Routing overhead is small: within 10% of N independent stores.
+    for n_shards in (1, 2, 4):
+        assert tp("cluster", n_shards) >= 0.9 * tp("independent", n_shards), \
+            n_shards
+
+    # Sharding one EPC budget scales aggregate throughput.
+    assert tp("cluster", 4) > 1.5 * tp("cluster", 1)
+    assert tp("cluster", 2) > tp("cluster", 1)
+
+    # The batched front door amortizes: far fewer ECALLs than requests.
+    for row in result.rows:
+        assert row["ecalls"] < 3000 / 8
+
+
+def test_cluster_rebalance(run_experiment):
+    result = run_experiment(cluster_rebalance, scale=bench_scale(2048),
+                            n_ops=3000)
+
+    tp_balanced = result.throughput(config="balanced")
+    tp_skewed = result.throughput(config="skewed")
+    tp_rebalanced = result.throughput(config="skewed+balancer")
+
+    # The deliberately skewed ring concentrates the zipf head: the hot
+    # shard serves the overwhelming majority of ops and drags the cluster.
+    (skewed_row,) = result.where(config="skewed")
+    assert skewed_row["hot_share"] > 0.6
+    assert tp_skewed < 0.7 * tp_balanced
+
+    # (b) The balancer must claw back >= 20% of what the hot shard cost.
+    lost = tp_balanced - tp_skewed
+    recovered = tp_rebalanced - tp_skewed
+    assert recovered >= 0.2 * lost, (tp_balanced, tp_skewed, tp_rebalanced)
+
+    # And it did so by actually migrating key ranges, not by luck.
+    (rebalanced_row,) = result.where(config="skewed+balancer")
+    assert rebalanced_row["keys_moved"] > 0
+    assert rebalanced_row["rounds"] >= 1
+    assert rebalanced_row["hot_share"] < skewed_row["hot_share"]

@@ -746,6 +746,195 @@ def ablation_latency(scale: int = DEFAULT_SCALE,
     return result
 
 
+# ---------------------------------------------------------------------------
+# Extension: cluster serving layer (repro.cluster) — Fig 16a generalized
+# ---------------------------------------------------------------------------
+
+def _as_requests(operations):
+    """Convert a workload op stream into wire-protocol requests."""
+    from repro.server import protocol
+
+    return [
+        protocol.get(op.key) if op.kind == "get"
+        else protocol.put(op.key, op.value)
+        for op in operations
+    ]
+
+
+def _drive_cluster(coordinator, requests, frame_ops: int = 256) -> None:
+    """Feed requests through the coordinator in frame-sized deliveries.
+
+    Mirrors how the netserver delivers traffic (one ``execute`` per wire
+    frame), which also gives an attached balancer its periodic look.
+    """
+    for start in range(0, len(requests), frame_ops):
+        coordinator.execute(requests[start:start + frame_ops])
+
+
+def cluster_scaling(scale: int = 2048, n_ops: int = 3000,
+                    shard_counts: Iterable[int] = (1, 2, 4),
+                    batch_window: int = 32,
+                    warm_ops: int = 1500) -> ExperimentResult:
+    """Cluster throughput vs shard count, against N independent stores.
+
+    Extends Fig 16a: instead of measuring isolated per-tenant stores, the
+    ``cluster`` rows route one uniform RD95 stream through the consistent-
+    hash front door with per-shard batch accumulation; the ``independent``
+    rows drive the *same* shards, with the same key partition, directly
+    through ``flush_batch`` with perfectly full batches — the no-serving-
+    layer ideal.  The gap between the two is the routing overhead
+    (partial batches at flush boundaries; the ring itself is untrusted
+    front-end work and costs no enclave cycles).  Aggregate throughput is
+    ``total_ops / max(per-shard cycles)``: shards are parallel enclaves,
+    the straggler sets wall-clock.
+    """
+    from repro.cluster import ClusterStats, build_cluster
+
+    result = ExperimentResult(
+        exp_id="Cluster 1",
+        title="Cluster scaling: shared-EPC shards vs independent stores "
+              "(uniform RD95, 16B)",
+        columns=["shards", "mode", "throughput ops/s", "ecalls",
+                 "parallel_efficiency"],
+    )
+    n_keys = scaled_keys(scale)
+    workload = YcsbWorkload(n_keys=n_keys, read_ratio=0.95, value_size=16,
+                            distribution="uniform")
+    warm = YcsbWorkload(n_keys=n_keys, read_ratio=0.95, value_size=16,
+                        distribution="uniform", seed=workload.seed + 7919)
+    for n_shards in shard_counts:
+        for mode in ("cluster", "independent"):
+            coordinator = build_cluster(
+                n_shards, n_keys=n_keys, scale=scale,
+                batch_window=batch_window,
+            )
+            coordinator.load(workload.load_items())
+            requests = _as_requests(workload.operations(n_ops))
+            warm_requests = _as_requests(warm.operations(warm_ops))
+            if mode == "cluster":
+                _drive_cluster(coordinator, warm_requests)
+                stats = coordinator.stats()
+                _drive_cluster(coordinator, requests)
+            else:
+                # The same shards and the same ring partition, but each
+                # shard served directly by its own clients with full
+                # batches: N independent stores, no front door.
+                def drive_direct(reqs):
+                    per_shard = {sid: [] for sid in coordinator.shards}
+                    for request in reqs:
+                        per_shard[coordinator.ring.route(request.key)] \
+                            .append(request)
+                    for shard_id, shard_requests in per_shard.items():
+                        shard = coordinator.shards[shard_id]
+                        for start in range(0, len(shard_requests),
+                                           batch_window):
+                            shard.server.flush_batch(
+                                shard_requests[start:start + batch_window]
+                            )
+
+                drive_direct(warm_requests)
+                stats = ClusterStats(coordinator.shard_list())
+                drive_direct(requests)
+            report = stats.report()
+            result.add_row(
+                shards=n_shards, mode=mode,
+                **{"throughput ops/s": report["cluster"]
+                   ["aggregate_throughput"]},
+                ecalls=report["cluster"]["ecalls"],
+                parallel_efficiency=round(
+                    report["cluster"]["parallel_efficiency"], 3),
+            )
+    result.note(f"scale 1/{scale}: {n_keys} keys, EPC split per shard, "
+                f"batch window {batch_window}")
+    return result
+
+
+def cluster_rebalance(scale: int = 2048, n_ops: int = 3000,
+                      warm_ops: int = 4000,
+                      batch_window: int = 32) -> ExperimentResult:
+    """Hot-shard rebalancing under zipf 0.99 with a deliberately skewed ring.
+
+    Three configurations of a 4-shard cluster:
+
+    * ``balanced``          — even vnode spread (the healthy reference);
+    * ``skewed``            — one shard owns ~90 % of the ring, so the
+                              zipfian head lands on it and it straggles;
+    * ``skewed+balancer``   — same sick ring, but the
+                              :class:`~repro.cluster.balancer
+                              .HotShardBalancer` watches per-shard cycle
+                              windows and migrates key ranges (vnode moves
+                              + re-Put through the trusted path, cycles
+                              charged) during the warm phase.
+
+    Throughput is measured *after* warm/convergence on a fresh meter
+    window, so the balancer rows show steady-state payback, not the
+    migration bill (which is itself reported in the keys_moved column).
+    """
+    from repro.cluster import (
+        ClusterCoordinator,
+        HashRing,
+        HotShardBalancer,
+        build_shards,
+    )
+
+    result = ExperimentResult(
+        exp_id="Cluster 2",
+        title="Hot-shard rebalancing (zipf 0.99 RD95, 4 shards, skewed "
+              "ring)",
+        columns=["config", "throughput ops/s", "hot_share", "keys_moved",
+                 "rounds"],
+    )
+    n_keys = scaled_keys(scale)
+    n_shards = 4
+    workload = YcsbWorkload(n_keys=n_keys, read_ratio=0.95, value_size=16,
+                            distribution="zipfian", skew=0.99)
+    warm = YcsbWorkload(n_keys=n_keys, read_ratio=0.95, value_size=16,
+                        distribution="zipfian", skew=0.99,
+                        seed=workload.seed + 7919)
+    skewed_vnodes = {"shard-0": 116, "shard-1": 4, "shard-2": 4,
+                     "shard-3": 4}
+    for config, with_balancer in (
+        ("balanced", False),
+        ("skewed", False),
+        ("skewed+balancer", True),
+    ):
+        shards = build_shards(
+            n_shards,
+            cluster_epc_bytes=max(4096 * n_shards,
+                                  PAPER_EPC_BYTES // scale),
+            n_keys=n_keys,
+        )
+        ring = HashRing(
+            [s.shard_id for s in shards],
+            vnodes=128 if config == "balanced" else skewed_vnodes,
+        )
+        coordinator = ClusterCoordinator(shards, ring=ring,
+                                         batch_window=batch_window)
+        balancer = None
+        if with_balancer:
+            balancer = HotShardBalancer(coordinator, check_every=512,
+                                        imbalance_threshold=1.3,
+                                        min_window_ops=256)
+            coordinator.attach_balancer(balancer)
+        coordinator.load(workload.load_items())
+        _drive_cluster(coordinator, _as_requests(warm.operations(warm_ops)))
+        stats = coordinator.stats()
+        _drive_cluster(coordinator, _as_requests(workload.operations(n_ops)))
+        report = stats.report()
+        result.add_row(
+            config=config,
+            **{"throughput ops/s": report["cluster"]
+               ["aggregate_throughput"]},
+            hot_share=round(max(stats.ops_share().values()), 3),
+            keys_moved=(balancer.total_keys_moved() if balancer else 0),
+            rounds=(len(balancer.history) if balancer else 0),
+        )
+    result.note(f"scale 1/{scale}: {n_keys} keys; skewed ring gives "
+                "shard-0 ~91% of vnodes; measurement window starts after "
+                "warm/convergence")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table1": table1_comparison,
     "fig2": fig2_motivation,
@@ -764,4 +953,6 @@ ALL_EXPERIMENTS = {
     "ablation_latency": ablation_latency,
     "ablation_drift": ablation_hotset_drift,
     "ablation_obfuscation": ablation_obfuscation,
+    "cluster_scaling": cluster_scaling,
+    "cluster_rebalance": cluster_rebalance,
 }

@@ -7,6 +7,7 @@ Commands:
 * ``bench``     — regenerate the paper's tables/figures.
 * ``attack``    — stage every threat-model attack and report detection.
 * ``inspect``   — show how a store would be sized at a given scale.
+* ``serve``     — run the sharded cluster's asyncio TCP server.
 """
 
 from __future__ import annotations
@@ -176,6 +177,60 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import (
+        ClusterNetServer,
+        HotShardBalancer,
+        build_cluster,
+    )
+
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 1
+    coordinator = build_cluster(
+        args.shards,
+        n_keys=args.keys,
+        scale=args.scale,
+        index=args.index,
+        vnodes=args.vnodes,
+        batch_window=args.batch_window,
+        seed=args.seed,
+    )
+    if args.balance:
+        coordinator.attach_balancer(HotShardBalancer(coordinator))
+    server = ClusterNetServer(coordinator, host=args.host, port=args.port,
+                              max_requests=args.max_requests)
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(f"cluster listening on {host}:{port} "
+              f"({args.shards} shards, balancer "
+              f"{'on' if args.balance else 'off'})")
+        for shard in coordinator.shard_list():
+            print(f"  {shard.shard_id}: EPC {shard.epc_bytes:,} B, "
+                  f"{shard.store.config.n_buckets:,} buckets")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - ^C path
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    report = coordinator.stats().report()["shards"]
+    print(f"served {server.requests_served} requests "
+          f"in {server.frames_served} frames")
+    for shard_id in sorted(report):
+        row = report[shard_id]
+        print(f"  {shard_id}: {row['keys']} keys, "
+              f"{row['ops_executed']} ops, "
+              f"hit ratio {row['cache_hit_ratio']:.1%}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -209,6 +264,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     attack = sub.add_parser("attack", help="stage the threat-model attacks")
     attack.set_defaults(func=_cmd_attack)
+
+    serve = sub.add_parser("serve", help="run the sharded cluster TCP "
+                                         "server (asyncio)")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--port", type=int, default=7433,
+                       help="0 picks an ephemeral port")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--keys", type=int, default=20_000,
+                       help="cluster-wide keyspace the shards are sized for")
+    serve.add_argument("--scale", type=int, default=512,
+                       help="EPC scale divisor (as in the bench harness)")
+    serve.add_argument("--index", default="hash",
+                       choices=["hash", "btree", "bplustree"])
+    serve.add_argument("--vnodes", type=int, default=128)
+    serve.add_argument("--batch-window", type=int, default=32)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--no-balance", dest="balance", action="store_false",
+                       help="disable the hot-shard balancer")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="stop after serving this many request frames "
+                            "(default: serve until interrupted)")
+    serve.set_defaults(func=_cmd_serve)
 
     inspect = sub.add_parser("inspect", help="show store sizing at a scale")
     inspect.add_argument("--keys", type=int, default=20_000)

@@ -1,0 +1,52 @@
+"""``repro.cluster``: the sharded multi-enclave serving layer.
+
+Turns the single-store :class:`~repro.server.server.AriaServer` into a
+routed cluster — the ROADMAP's "sharding, batching, async" axis and the
+paper's Fig 16a multi-enclave split generalized to N shards behind one
+front door:
+
+* :mod:`~repro.cluster.ring` — consistent-hash routing (virtual nodes);
+* :mod:`~repro.cluster.shard` — one enclave + Aria store per shard, EPC
+  carved from a cluster-wide budget;
+* :mod:`~repro.cluster.coordinator` — request routing and per-shard batch
+  accumulation over the ECALL-amortized path;
+* :mod:`~repro.cluster.balancer` — hot-shard detection and key-range
+  migration (re-sealed through the trusted path);
+* :mod:`~repro.cluster.netserver` — the asyncio TCP front door plus a
+  synchronous client;
+* :mod:`~repro.cluster.stats` — cluster-wide metrics aggregation.
+"""
+
+from repro.cluster.balancer import HotShardBalancer, MigrationReport
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    DEFAULT_BATCH_WINDOW,
+    build_cluster,
+)
+from repro.cluster.netserver import (
+    BackgroundServer,
+    ClusterClient,
+    ClusterNetServer,
+    FRAME_HEADER,
+)
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, ring_hash
+from repro.cluster.shard import Shard, build_shards
+from repro.cluster.stats import ClusterStats
+
+__all__ = [
+    "BackgroundServer",
+    "ClusterClient",
+    "ClusterCoordinator",
+    "ClusterNetServer",
+    "ClusterStats",
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_VNODES",
+    "FRAME_HEADER",
+    "HashRing",
+    "HotShardBalancer",
+    "MigrationReport",
+    "Shard",
+    "build_cluster",
+    "build_shards",
+    "ring_hash",
+]

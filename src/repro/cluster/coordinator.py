@@ -1,0 +1,192 @@
+"""Routes decoded requests to shards and batch-flushes per shard.
+
+The coordinator is the *untrusted* front half of the serving layer: it
+decodes frames once, consults the :class:`~repro.cluster.ring.HashRing`,
+and accumulates a per-shard buffer.  When a shard's buffer reaches
+``batch_window`` (or the caller drains), the whole buffer crosses that
+shard's enclave boundary through the existing ECALL-amortized path
+(:meth:`repro.server.server.AriaServer.flush_batch`) — one ECALL per
+flush, not per request, which is the whole point (Section II-A: the
+boundary crossing dominates; Harnik et al. measure the same on real
+hardware).
+
+Ordering contract: responses are returned positionally (response *i*
+answers request *i*), and because a key always routes to exactly one shard
+whose buffer preserves arrival order, per-key operation order is preserved
+even though different shards flush independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.harness import PAPER_EPC_BYTES
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, VnodeSpec
+from repro.cluster.shard import Shard, build_shards
+from repro.cluster.stats import ClusterStats
+from repro.errors import IntegrityError, KeyNotFoundError
+from repro.server import protocol
+from repro.server.protocol import (
+    STATUS_INTEGRITY_FAILURE,
+    STATUS_NOT_FOUND,
+    Request,
+    Response,
+)
+
+DEFAULT_BATCH_WINDOW = 32
+
+
+class ClusterCoordinator:
+    """The sharded serving layer's routing + batching brain."""
+
+    def __init__(
+        self,
+        shards: List[Shard],
+        *,
+        ring: Optional[HashRing] = None,
+        vnodes: VnodeSpec = DEFAULT_VNODES,
+        batch_window: int = DEFAULT_BATCH_WINDOW,
+    ):
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        if batch_window < 1:
+            raise ValueError("batch_window must be >= 1")
+        self.shards: Dict[str, Shard] = {s.shard_id: s for s in shards}
+        if len(self.shards) != len(shards):
+            raise ValueError("duplicate shard ids")
+        self.ring = ring or HashRing(self.shards, vnodes=vnodes)
+        if set(self.ring.shards()) != set(self.shards):
+            raise ValueError("ring membership does not match the shard set")
+        self.batch_window = batch_window
+        self._balancer = None
+        self.ops_routed = 0
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach_balancer(self, balancer) -> None:
+        """Give the balancer a look after every executed batch."""
+        self._balancer = balancer
+
+    def shard_for(self, key: bytes) -> Shard:
+        return self.shards[self.ring.route(key)]
+
+    def shard_list(self) -> List[Shard]:
+        return [self.shards[shard_id] for shard_id in sorted(self.shards)]
+
+    # -- the batched request path -------------------------------------------------
+
+    def execute(self, requests: Iterable[Request]) -> List[Response]:
+        """Route, batch, flush; returns responses positionally.
+
+        Buffers per shard and flushes a shard the moment its buffer fills,
+        so a stream larger than ``batch_window * n_shards`` stays at a
+        bounded memory footprint instead of materializing per-shard
+        sub-streams.
+        """
+        requests = list(requests)
+        responses: List[Optional[Response]] = [None] * len(requests)
+        pending: Dict[str, List[int]] = {sid: [] for sid in self.shards}
+        for seq, request in enumerate(requests):
+            shard_id = self.ring.route(request.key)
+            bucket = pending[shard_id]
+            bucket.append(seq)
+            if len(bucket) >= self.batch_window:
+                self._flush(shard_id, bucket, requests, responses)
+                pending[shard_id] = []
+        for shard_id, bucket in pending.items():
+            if bucket:
+                self._flush(shard_id, bucket, requests, responses)
+        self.ops_routed += len(requests)
+        if self._balancer is not None:
+            self._balancer.observe(len(requests))
+        return responses  # type: ignore[return-value]  # all slots filled
+
+    def _flush(self, shard_id: str, seqs: List[int],
+               requests: List[Request],
+               responses: List[Optional[Response]]) -> None:
+        shard = self.shards[shard_id]
+        shard.ops_routed += len(seqs)
+        for seq, response in zip(
+            seqs, shard.server.flush_batch(requests[s] for s in seqs)
+        ):
+            responses[seq] = response
+
+    # -- convenience single-request API (one ECALL each, like AriaClient) --------
+
+    def get(self, key: bytes) -> bytes:
+        response = self._single(protocol.get(key))
+        if response.status == STATUS_NOT_FOUND:
+            raise KeyNotFoundError(key)
+        if response.status == STATUS_INTEGRITY_FAILURE:
+            raise IntegrityError(response.value.decode())
+        return response.value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        response = self._single(protocol.put(key, value))
+        if response.status == STATUS_INTEGRITY_FAILURE:
+            raise IntegrityError(response.value.decode())
+
+    def delete(self, key: bytes) -> None:
+        response = self._single(protocol.delete(key))
+        if response.status == STATUS_NOT_FOUND:
+            raise KeyNotFoundError(key)
+        if response.status == STATUS_INTEGRITY_FAILURE:
+            raise IntegrityError(response.value.decode())
+
+    def _single(self, request: Request) -> Response:
+        shard = self.shard_for(request.key)
+        shard.ops_routed += 1
+        self.ops_routed += 1
+        [response] = shard.server.flush_batch([request])
+        return response
+
+    # -- bulk load (unmetered, mirrors AriaStore.load) ----------------------------
+
+    def load(self, pairs: Iterable[tuple]) -> None:
+        """Partition a dataset by the ring and bulk-load each shard."""
+        per_shard: Dict[str, list] = {sid: [] for sid in self.shards}
+        for key, value in pairs:
+            per_shard[self.ring.route(key)].append((key, value))
+        for shard_id, shard_pairs in per_shard.items():
+            if shard_pairs:
+                self.shards[shard_id].store.load(shard_pairs)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def total_keys(self) -> int:
+        return sum(len(s.store) for s in self.shards.values())
+
+    def stats(self) -> ClusterStats:
+        """A fresh delta window over every shard (see ClusterStats)."""
+        return ClusterStats(self.shard_list())
+
+
+def build_cluster(
+    n_shards: int,
+    *,
+    n_keys: int,
+    cluster_epc_bytes: int = PAPER_EPC_BYTES,
+    scale: int = 1,
+    index: str = "hash",
+    vnodes: VnodeSpec = DEFAULT_VNODES,
+    batch_window: int = DEFAULT_BATCH_WINDOW,
+    seed: int = 0,
+    **shard_overrides,
+) -> ClusterCoordinator:
+    """One-call cluster: N shards splitting one EPC budget, plus a ring.
+
+    ``scale`` divides the EPC budget like the bench harness's
+    ``scaled_platform`` (the keyspace is the caller's to scale), so
+    ``build_cluster(4, n_keys=10_000, scale=1024)`` is the Fig 16a
+    4-tenant operating point generalized to a routed cluster.
+    """
+    shards = build_shards(
+        n_shards,
+        cluster_epc_bytes=max(4096 * n_shards, cluster_epc_bytes // scale),
+        n_keys=n_keys,
+        index=index,
+        seed=seed,
+        **shard_overrides,
+    )
+    return ClusterCoordinator(shards, vnodes=vnodes,
+                              batch_window=batch_window)

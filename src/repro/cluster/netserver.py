@@ -1,0 +1,296 @@
+"""Asyncio TCP front door for the sharded cluster.
+
+Speaks the existing ``repro.server.protocol`` batch frames over a stream
+with a 4-byte little-endian length prefix::
+
+    wire frame := frame_len (u32 LE) | payload
+    payload    := batch frame   (requests client->server,
+                                 responses server->client)
+
+* **Pipelining** — a client may write any number of request frames without
+  waiting; responses come back in frame order (and positionally within a
+  frame, per the protocol contract).
+* **Bounded allocation** — ``frame_len`` is attacker-supplied, so it is
+  checked against ``protocol.MAX_FRAME_BYTES`` *before* the payload is
+  read; an oversized or zero length gets the canonical batch rejection and
+  the connection is closed (there is no way to resynchronize a stream
+  whose framing is untrusted).
+* **Graceful shutdown** — :meth:`ClusterNetServer.stop` stops accepting,
+  lets in-flight frames finish, closes every connection, and wakes
+  :meth:`serve_forever`.
+
+:class:`ClusterClient` is the matching synchronous client (plain stdlib
+sockets — examples, tests, and CLI tooling shouldn't need an event loop),
+and :class:`BackgroundServer` runs the whole server on a daemon thread for
+the same audiences.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+from typing import List, Optional, Tuple
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, Request, Response
+
+FRAME_HEADER = struct.Struct("<I")
+
+
+class ClusterNetServer:
+    """Serves a :class:`~repro.cluster.coordinator.ClusterCoordinator`."""
+
+    def __init__(
+        self,
+        coordinator,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_requests: Optional[int] = None,
+    ):
+        self._coordinator = coordinator
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._writers: set = set()
+        #: Stop after this many request frames (None = serve forever).
+        self.max_requests = max_requests
+        self.frames_served = 0
+        self.requests_served = 0
+
+    @property
+    def coordinator(self):
+        return self._coordinator
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._host, self._port = self._server.sockets[0].getsockname()[:2]
+        return self._host, self._port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._host, self._port
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or the ``max_requests`` limit)."""
+        if self._server is None:
+            await self.start()
+        if self._limit_reached():
+            await self.stop()
+            return
+        await self._stop_event.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, close connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Request handling is synchronous within a connection task, so by
+        # the time this coroutine runs no frame is mid-execution; closing
+        # the transports ends every connection loop cleanly.
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        self._writers.clear()
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def _limit_reached(self) -> bool:
+        return (self.max_requests is not None
+                and self.frames_served >= self.max_requests)
+
+    # -- per-connection loop ------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._stop_event.is_set():
+                try:
+                    header = await reader.readexactly(FRAME_HEADER.size)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                (frame_len,) = FRAME_HEADER.unpack(header)
+                if frame_len == 0 or frame_len > protocol.MAX_FRAME_BYTES:
+                    # The length itself is hostile: reject without reading
+                    # (or allocating) the claimed payload, then hang up —
+                    # the stream cannot be resynchronized.
+                    await self._send(writer, protocol.encode_batch_rejection())
+                    break
+                try:
+                    payload = await reader.readexactly(frame_len)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                try:
+                    requests = protocol.decode_batch(payload)
+                except ProtocolError:
+                    await self._send(writer, protocol.encode_batch_rejection())
+                    continue
+                responses = self._coordinator.execute(requests)
+                self.frames_served += 1
+                self.requests_served += len(requests)
+                await self._send(
+                    writer, protocol.encode_batch_responses(responses)
+                )
+                if self._limit_reached():
+                    asyncio.get_running_loop().create_task(self.stop())
+                    break
+        except ConnectionError:  # pragma: no cover - peer vanished mid-write
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: bytes) -> None:
+        writer.write(FRAME_HEADER.pack(len(payload)) + payload)
+        await writer.drain()
+
+
+class ClusterClient:
+    """Synchronous wire client for the cluster server (stdlib sockets)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # -- framing ------------------------------------------------------------------
+
+    def send_frame(self, payload: bytes) -> None:
+        self._sock.sendall(FRAME_HEADER.pack(len(payload)) + payload)
+
+    def recv_frame(self) -> bytes:
+        header = self._recv_exactly(FRAME_HEADER.size)
+        (frame_len,) = FRAME_HEADER.unpack(header)
+        if frame_len > protocol.MAX_FRAME_BYTES:
+            raise ProtocolError(f"server frame exceeds "
+                                f"{protocol.MAX_FRAME_BYTES} bytes")
+        return self._recv_exactly(frame_len)
+
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # -- request API --------------------------------------------------------------
+
+    def request_batch(self, requests: List[Request]) -> List[Response]:
+        """One frame out, one frame back; positional responses.
+
+        Raises :class:`~repro.server.protocol.BatchRejectedError` if the
+        server rejected the delivery as a unit.
+        """
+        self.send_frame(protocol.encode_batch(requests))
+        return protocol.decode_batch_responses(self.recv_frame(),
+                                               expected=len(requests))
+
+    def get(self, key: bytes) -> Response:
+        [response] = self.request_batch([protocol.get(key)])
+        return response
+
+    def put(self, key: bytes, value: bytes) -> Response:
+        [response] = self.request_batch([protocol.put(key, value)])
+        return response
+
+    def delete(self, key: bytes) -> Response:
+        [response] = self.request_batch([protocol.delete(key)])
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class BackgroundServer:
+    """Run a :class:`ClusterNetServer` on a daemon thread.
+
+    For synchronous callers (tests, examples, demos): ``start()`` blocks
+    until the socket is bound and returns the address; ``stop()`` performs
+    the graceful shutdown on the server's own loop and joins the thread.
+    """
+
+    def __init__(self, coordinator, *, host: str = "127.0.0.1",
+                 port: int = 0, max_requests: Optional[int] = None):
+        self.server = ClusterNetServer(coordinator, host=host, port=port,
+                                       max_requests=max_requests)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="aria-cluster-server")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("cluster server failed to start")
+        if self._error is not None:
+            raise RuntimeError("cluster server crashed on startup") \
+                from self._error
+        return self.server.address
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._error = exc
+                raise
+            finally:
+                self._ready.set()
+            await self.server.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - surfaced by start()
+            if self._error is None:
+                self._error = exc
+            self._ready.set()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            ).result(timeout)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

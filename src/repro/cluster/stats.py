@@ -1,0 +1,124 @@
+"""Cluster-wide metrics aggregation (a ``memory_report`` for N enclaves).
+
+Shards are independent enclaves running in parallel, so two aggregates
+matter and they are *not* the same number:
+
+* ``cycles_sum`` — total work done (what a power/billing view wants);
+* ``cycles_max`` — the critical path: wall-clock is set by the slowest
+  shard, so aggregate throughput is ``total_ops * hz / cycles_max``.
+
+A perfectly balanced cluster has ``cycles_max ~= cycles_sum / N``; a hot
+shard drags ``cycles_max`` toward ``cycles_sum`` and the aggregate
+throughput collapses toward single-shard speed — exactly the effect the
+balancer exists to fix, and what ``benchmarks/test_cluster_scaling.py``
+measures.
+
+:class:`ClusterStats` works on deltas: it snapshots every shard's meter at
+construction (and at :meth:`rebaseline`), so load/warmup phases are
+excluded the same way the single-store harness excludes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.sgx.meter import MeterSnapshot
+
+_OP_EVENTS = ("op_get", "op_put", "op_delete")
+
+
+class ClusterStats:
+    """Delta-based aggregation over a fixed set of shards."""
+
+    def __init__(self, shards: Iterable):
+        self._shards: List = list(shards)
+        if not self._shards:
+            raise ValueError("no shards to aggregate")
+        self._baselines: Dict[str, MeterSnapshot] = {}
+        self.rebaseline()
+
+    def rebaseline(self) -> None:
+        """Restart the measurement window at the current meter state."""
+        self._baselines = {
+            shard.shard_id: shard.meter.snapshot() for shard in self._shards
+        }
+
+    # -- internals ----------------------------------------------------------------
+
+    def _delta(self, shard) -> MeterSnapshot:
+        return self._baselines[shard.shard_id].delta(shard.meter.snapshot())
+
+    @staticmethod
+    def _ops(delta: MeterSnapshot) -> int:
+        return sum(delta.events[e] for e in _OP_EVENTS)
+
+    # -- aggregates ---------------------------------------------------------------
+
+    def total_ops(self) -> int:
+        return sum(self._ops(self._delta(s)) for s in self._shards)
+
+    def cycles_max(self) -> float:
+        return max(self._delta(s).cycles for s in self._shards)
+
+    def cycles_sum(self) -> float:
+        return sum(self._delta(s).cycles for s in self._shards)
+
+    def aggregate_throughput(self) -> float:
+        """Cluster ops/s: total ops over the slowest shard's cycles.
+
+        Shards are parallel enclaves, so the straggler sets wall-clock —
+        simulated cycles through the platform clock, like every other
+        throughput figure in this repo.
+        """
+        cycles = self.cycles_max()
+        ops = self.total_ops()
+        if cycles <= 0 or ops <= 0:
+            return 0.0
+        hz = self._shards[0].store.enclave.platform.cpu_hz
+        return hz * ops / cycles
+
+    def ops_share(self) -> Dict[str, float]:
+        """Each shard's fraction of executed ops in the current window."""
+        per_shard = {s.shard_id: self._ops(self._delta(s))
+                     for s in self._shards}
+        total = sum(per_shard.values())
+        if not total:
+            return {shard_id: 0.0 for shard_id in per_shard}
+        return {shard_id: n / total for shard_id, n in per_shard.items()}
+
+    def report(self) -> dict:
+        """Cluster snapshot: per-shard rows plus the cluster-level totals."""
+        per_shard = {}
+        for shard in self._shards:
+            row = shard.stats()
+            delta = self._delta(shard)
+            row["window_cycles"] = delta.cycles
+            row["window_ops"] = self._ops(delta)
+            row["window_ecalls"] = delta.events["ecall"]
+            per_shard[shard.shard_id] = row
+        ops = self.total_ops()
+        cycles_max = self.cycles_max()
+        weighted_hits = sum(
+            row["cache_hit_ratio"] * row["keys"]
+            for row in per_shard.values()
+        )
+        total_keys = sum(row["keys"] for row in per_shard.values())
+        return {
+            "shards": per_shard,
+            "cluster": {
+                "n_shards": len(self._shards),
+                "keys": total_keys,
+                "window_ops": ops,
+                "cycles_max": cycles_max,
+                "cycles_sum": self.cycles_sum(),
+                "parallel_efficiency": (
+                    self.cycles_sum() / (cycles_max * len(self._shards))
+                    if cycles_max > 0 else 0.0
+                ),
+                "aggregate_throughput": self.aggregate_throughput(),
+                "ecalls": sum(row["window_ecalls"]
+                              for row in per_shard.values()),
+                "cache_hit_ratio": (weighted_hits / total_keys
+                                    if total_keys else 0.0),
+            },
+        }

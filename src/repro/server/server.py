@@ -56,18 +56,40 @@ class AriaServer:
     # -- batched entry point ----------------------------------------------------------
 
     def handle_batch(self, batch_bytes: bytes) -> bytes:
-        """One ECALL amortized over every request in the batch."""
+        """One ECALL amortized over every request in the batch.
+
+        A batch whose framing cannot be parsed is rejected as a unit with
+        the canonical single-BAD_REQUEST reply (none of its requests
+        executed — see the contract in ``protocol``): the server cannot
+        trust the claimed ``count`` of a frame it failed to parse, so it
+        never fabricates per-request responses for it.
+        """
         self._enter(len(batch_bytes))
         try:
             requests = protocol.decode_batch(batch_bytes)
         except ProtocolError:
-            return self._exit(
-                protocol.encode_batch_responses(
-                    [Response(STATUS_BAD_REQUEST)]
-                )
-            )
+            return self._exit(protocol.encode_batch_rejection())
         responses = [self._dispatch(request) for request in requests]
         return self._exit(protocol.encode_batch_responses(responses))
+
+    def flush_batch(self, requests: Iterable[Request]) -> list:
+        """Batch-flush hook for pre-decoded requests (the cluster path).
+
+        The cluster coordinator decodes frames once at the front door and
+        routes ``Request`` objects to shards; re-encoding them per shard
+        would be pure Python overhead with no simulated counterpart.  This
+        entry point charges exactly what :meth:`handle_batch` would — one
+        ECALL plus the boundary copy of the encoded batch in and the
+        encoded responses out — and returns ``Response`` objects.
+        """
+        requests = list(requests)
+        self._enter(protocol.batch_encoded_size(requests))
+        responses = [self._dispatch(request) for request in requests]
+        self._enclave.meter.charge(
+            self._enclave.costs.mem_per_byte
+            * protocol.batch_responses_encoded_size(responses)
+        )
+        return responses
 
     # -- internals ----------------------------------------------------------------------
 
@@ -148,7 +170,11 @@ class AriaClient:
         if not self._pending:
             return
         raw = self._server.handle_batch(protocol.encode_batch(self._pending))
-        self._responses.extend(protocol.decode_batch_responses(raw))
+        # expected= keeps request/response correspondence honest: a
+        # whole-batch rejection raises instead of misaligning positions.
+        self._responses.extend(
+            protocol.decode_batch_responses(raw, expected=len(self._pending))
+        )
         self._pending.clear()
 
     def pipeline(self, requests: Iterable[Request]) -> list:
@@ -159,9 +185,13 @@ class AriaClient:
             chunk.append(request)
             if len(chunk) >= self._batch_size:
                 raw = self._server.handle_batch(protocol.encode_batch(chunk))
-                responses.extend(protocol.decode_batch_responses(raw))
+                responses.extend(
+                    protocol.decode_batch_responses(raw, expected=len(chunk))
+                )
                 chunk = []
         if chunk:
             raw = self._server.handle_batch(protocol.encode_batch(chunk))
-            responses.extend(protocol.decode_batch_responses(raw))
+            responses.extend(
+                protocol.decode_batch_responses(raw, expected=len(chunk))
+            )
         return responses

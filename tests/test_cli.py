@@ -63,6 +63,25 @@ def test_inspect(capsys):
     assert "merkle levels" in out
 
 
+def test_serve_binds_and_exits_at_request_limit(capsys):
+    # --max-requests 0: bind the asyncio server, serve nothing, shut down
+    # gracefully — the full lifecycle without a hanging foreground server.
+    code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
+                 "--scale", "2048", "--max-requests", "0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cluster listening on 127.0.0.1:" in out
+    assert "shard-0" in out and "shard-1" in out
+    assert "served 0 requests" in out
+
+
+def test_serve_balancer_flag(capsys):
+    code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
+                 "--scale", "2048", "--max-requests", "0", "--no-balance"])
+    assert code == 0
+    assert "balancer off" in capsys.readouterr().out
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

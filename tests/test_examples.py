@@ -53,6 +53,17 @@ def test_batched_server_example_runs(capsys):
     assert "batching removed" in out
 
 
+def test_cluster_client_example_runs(capsys):
+    module = load_example("cluster_client.py")
+    module.N_KEYS = 800
+    module.N_OPS = 400
+    module.main()
+    out = capsys.readouterr().out
+    assert "listening" in out
+    assert "rejected as a unit" in out
+    assert "aggregate" in out
+
+
 def test_reproduce_paper_rejects_unknown(capsys):
     module = load_example("reproduce_paper.py")
     assert module.main(["not-a-figure"]) == 1

@@ -1,0 +1,187 @@
+"""The asyncio front door, exercised over real localhost sockets.
+
+Every test here talks to the server the way a network client would: a TCP
+connection, length-prefixed wire frames, and nothing else.  The server
+runs on a background thread (``BackgroundServer``) against a small but
+fully real cluster — enclaves, meters, ring and all.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.cluster import (
+    BackgroundServer,
+    ClusterClient,
+    FRAME_HEADER,
+    build_cluster,
+)
+from repro.server import protocol
+from repro.server.protocol import BatchRejectedError
+
+
+@pytest.fixture()
+def cluster():
+    coordinator = build_cluster(2, n_keys=256, scale=2048, batch_window=8)
+    coordinator.load(
+        (b"key-%03d" % i, b"val-%03d" % i) for i in range(64)
+    )
+    return coordinator
+
+
+@pytest.fixture()
+def server(cluster):
+    with BackgroundServer(cluster) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.server.address
+    with ClusterClient(host, port) as c:
+        yield c
+
+
+class TestRoundTrips:
+    def test_get_put_delete_over_the_wire(self, client):
+        assert client.get(b"key-001").value == b"val-001"
+
+        response = client.put(b"wire-key", b"wire-value")
+        assert response.status == protocol.STATUS_OK
+        assert client.get(b"wire-key").value == b"wire-value"
+
+        assert client.delete(b"wire-key").status == protocol.STATUS_OK
+        assert client.get(b"wire-key").status == protocol.STATUS_NOT_FOUND
+        assert client.delete(b"wire-key").status == protocol.STATUS_NOT_FOUND
+
+    def test_batch_is_positional_across_shards(self, client):
+        requests = [protocol.get(b"key-%03d" % i) for i in range(64)]
+        requests.insert(10, protocol.get(b"no-such-key"))
+        responses = client.request_batch(requests)
+        assert len(responses) == 65
+        assert responses[10].status == protocol.STATUS_NOT_FOUND
+        for i, response in enumerate(responses[:10]):
+            assert response.value == b"val-%03d" % i
+
+    def test_server_counts_traffic(self, server, client):
+        client.request_batch([protocol.get(b"key-001")] * 3)
+        client.request_batch([protocol.get(b"key-002")])
+        assert server.server.frames_served == 2
+        assert server.server.requests_served == 4
+
+
+class TestPipelining:
+    def test_many_frames_in_flight(self, client):
+        # Write every frame before reading any response: responses must
+        # come back in frame order.
+        frames = []
+        for i in range(20):
+            frames.append([protocol.put(b"p-%02d" % i, b"v-%02d" % i),
+                           protocol.get(b"p-%02d" % i)])
+        for frame in frames:
+            client.send_frame(protocol.encode_batch(frame))
+        for i in range(20):
+            responses = protocol.decode_batch_responses(
+                client.recv_frame(), expected=2)
+            assert responses[1].value == b"v-%02d" % i
+
+    def test_two_connections_share_the_store(self, server):
+        host, port = server.server.address
+        with ClusterClient(host, port) as a, ClusterClient(host, port) as b:
+            a.put(b"shared", b"from-a")
+            assert b.get(b"shared").value == b"from-a"
+
+
+class TestMalformedInput:
+    def test_undecodable_payload_rejected_connection_survives(self, client):
+        client.send_frame(b"\xff\xff garbage that is not a batch")
+        responses = protocol.decode_batch_responses(client.recv_frame())
+        assert protocol.is_batch_rejection(responses)
+        # The connection is still usable afterwards.
+        assert client.get(b"key-003").value == b"val-003"
+
+    def test_batch_with_oversized_value_rejected_as_unit(self, client, cluster):
+        # Hand-build a frame whose second request claims an oversized
+        # value: the decode fails, so request #1 must NOT execute either.
+        good = protocol.put(b"poisoned", b"x").encode()
+        bad = (bytes([protocol.OP_PUT])
+               + struct.pack("<H", 3)
+               + struct.pack("<I", protocol.MAX_VALUE_BYTES + 1)
+               + b"abc" + b"y")
+        frame = struct.pack("<H", 2) + good + bad
+        client.send_frame(frame)
+        responses = protocol.decode_batch_responses(client.recv_frame())
+        assert protocol.is_batch_rejection(responses)
+        assert b"poisoned" not in cluster.shard_for(b"poisoned").store
+
+    def test_request_batch_raises_on_rejection(self, client):
+        with pytest.raises(BatchRejectedError):
+            client.send_frame(b"junk!")
+            protocol.decode_batch_responses(client.recv_frame(), expected=5)
+
+    def test_oversized_frame_length_closes_connection(self, server):
+        host, port = server.server.address
+        with ClusterClient(host, port) as client:
+            # A hostile length prefix — no payload is ever sent; the server
+            # must reject from the header alone and hang up.
+            client._sock.sendall(
+                FRAME_HEADER.pack(protocol.MAX_FRAME_BYTES + 1))
+            responses = protocol.decode_batch_responses(client.recv_frame())
+            assert protocol.is_batch_rejection(responses)
+            with pytest.raises(ConnectionError):
+                client.recv_frame()
+
+    def test_zero_length_frame_closes_connection(self, server):
+        host, port = server.server.address
+        with ClusterClient(host, port) as client:
+            client._sock.sendall(FRAME_HEADER.pack(0))
+            responses = protocol.decode_batch_responses(client.recv_frame())
+            assert protocol.is_batch_rejection(responses)
+            with pytest.raises(ConnectionError):
+                client.recv_frame()
+
+    def test_rejected_connection_does_not_poison_others(self, server):
+        host, port = server.server.address
+        with ClusterClient(host, port) as evil:
+            evil._sock.sendall(FRAME_HEADER.pack(0))
+            evil.recv_frame()
+        with ClusterClient(host, port) as good:
+            assert good.get(b"key-005").value == b"val-005"
+
+
+class TestLifecycle:
+    def test_graceful_stop_closes_client_connections(self, cluster):
+        background = BackgroundServer(cluster)
+        host, port = background.start()
+        client = ClusterClient(host, port)
+        assert client.get(b"key-001").value == b"val-001"
+        background.stop()
+        with pytest.raises((ConnectionError, socket.timeout, OSError)):
+            client.get(b"key-002")
+        client.close()
+
+    def test_stop_is_idempotent(self, cluster):
+        background = BackgroundServer(cluster)
+        background.start()
+        background.stop()
+        background.stop()
+
+    def test_connect_after_stop_refused(self, cluster):
+        background = BackgroundServer(cluster)
+        host, port = background.start()
+        background.stop()
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=1.0)
+
+    def test_max_requests_limit_stops_server(self, cluster):
+        with BackgroundServer(cluster, max_requests=2) as background:
+            host, port = background.server.address
+            with ClusterClient(host, port) as client:
+                client.get(b"key-001")
+                client.get(b"key-002")
+                # Limit hit: the server shut itself down.
+                with pytest.raises((ConnectionError, socket.timeout,
+                                    OSError)):
+                    client.get(b"key-003")
+        assert background.server.frames_served == 2

@@ -7,6 +7,10 @@ from repro.core.store import AriaStore
 from repro.errors import IntegrityError, KeyNotFoundError
 from repro.server import protocol
 from repro.server.protocol import (
+    BatchRejectedError,
+    MAX_BATCH_COUNT,
+    MAX_KEY_BYTES,
+    MAX_VALUE_BYTES,
     ProtocolError,
     Request,
     Response,
@@ -70,6 +74,135 @@ class TestProtocol:
         raw = protocol.encode_batch([protocol.get(b"k")]) + b"junk"
         with pytest.raises(ProtocolError):
             protocol.decode_batch(raw)
+
+
+class TestProtocolBounds:
+    """Attacker-supplied length fields are capped before any allocation."""
+
+    def test_oversized_k_len_rejected_from_header_alone(self):
+        # Header claims a k_len past the cap; no body bytes are present, and
+        # the decoder must reject on the length field, not on truncation.
+        raw = protocol._REQ_HEADER.pack(protocol.OP_GET,
+                                        MAX_KEY_BYTES + 1, 0)
+        with pytest.raises(ProtocolError, match="k_len"):
+            protocol.decode_request(raw)
+
+    def test_oversized_v_len_rejected_from_header_alone(self):
+        raw = protocol._REQ_HEADER.pack(protocol.OP_PUT, 1,
+                                        MAX_VALUE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="v_len"):
+            protocol.decode_request(raw)
+
+    def test_oversized_response_v_len_rejected(self):
+        raw = protocol._RESP_HEADER.pack(STATUS_OK, MAX_VALUE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="v_len"):
+            protocol.decode_response(raw)
+
+    def test_oversized_batch_count_rejected_before_looping(self):
+        raw = protocol._BATCH_HEADER.pack(MAX_BATCH_COUNT + 1)
+        with pytest.raises(ProtocolError, match="count"):
+            protocol.decode_batch(raw)
+        with pytest.raises(ProtocolError, match="count"):
+            protocol.decode_batch_responses(raw)
+
+    def test_boundary_sizes_accepted(self):
+        request = protocol.put(b"k" * MAX_KEY_BYTES, b"v" * MAX_VALUE_BYTES)
+        decoded, _ = protocol.decode_request(request.encode())
+        assert decoded == request
+
+    def test_encoder_enforces_same_bounds(self):
+        with pytest.raises(ProtocolError):
+            protocol.put(b"k" * (MAX_KEY_BYTES + 1), b"v").encode()
+        with pytest.raises(ProtocolError):
+            protocol.put(b"k", b"v" * (MAX_VALUE_BYTES + 1)).encode()
+        with pytest.raises(ProtocolError):
+            Response(STATUS_OK, b"v" * (MAX_VALUE_BYTES + 1)).encode()
+        with pytest.raises(ProtocolError, match="count"):
+            protocol.encode_batch([protocol.get(b"k")]
+                                  * (MAX_BATCH_COUNT + 1))
+
+    def test_encoded_size_matches_wire_bytes(self):
+        requests = [protocol.put(b"key", b"value"), protocol.get(b"key")]
+        assert protocol.batch_encoded_size(requests) == \
+            len(protocol.encode_batch(requests))
+        responses = [Response(STATUS_OK, b"value"), Response(STATUS_OK)]
+        assert protocol.batch_responses_encoded_size(responses) == \
+            len(protocol.encode_batch_responses(responses))
+
+
+class TestBatchRejectionContract:
+    """A malformed batch is rejected as a unit, and clients can tell."""
+
+    def test_rejection_shape_roundtrip(self):
+        raw = protocol.encode_batch_rejection()
+        responses = protocol.decode_batch_responses(raw)
+        assert protocol.is_batch_rejection(responses)
+
+    def test_expected_count_mismatch_raises_batch_rejected(self):
+        raw = protocol.encode_batch_rejection()
+        with pytest.raises(BatchRejectedError):
+            protocol.decode_batch_responses(raw, expected=3)
+
+    def test_non_rejection_count_mismatch_is_protocol_error(self):
+        raw = protocol.encode_batch_responses([Response(STATUS_OK),
+                                               Response(STATUS_OK)])
+        with pytest.raises(ProtocolError, match="expected 3"):
+            protocol.decode_batch_responses(raw, expected=3)
+
+    def test_single_request_batch_is_not_mistaken_for_rejection(self):
+        # A legitimate one-request batch yields exactly one response and
+        # expected=1 matches; no BatchRejectedError even on BAD_REQUEST.
+        raw = protocol.encode_batch_responses([Response(STATUS_BAD_REQUEST)])
+        responses = protocol.decode_batch_responses(raw, expected=1)
+        assert responses[0].status == STATUS_BAD_REQUEST
+
+    def test_server_rejects_malformed_batch_as_unit(self):
+        server, store = make_server()
+        store.put(b"pre", b"existing")
+        # Batch claims 3 requests but the body is garbage: no request may
+        # execute, and the reply must be the canonical rejection.
+        raw = server.handle_batch(protocol._BATCH_HEADER.pack(3) + b"\xff")
+        responses = protocol.decode_batch_responses(raw)
+        assert protocol.is_batch_rejection(responses)
+        with pytest.raises(BatchRejectedError):
+            protocol.decode_batch_responses(raw, expected=3)
+        assert store.get(b"pre") == b"existing"  # store untouched
+
+    def test_client_flush_surfaces_rejection(self):
+        server, _ = make_server()
+        client = AriaClient(server, batch_size=4)
+
+        class _BrokenServer:
+            def handle_batch(self, batch_bytes):
+                return protocol.encode_batch_rejection()
+
+            def handle(self, request_bytes):  # pragma: no cover
+                raise AssertionError("unbatched path not used")
+
+        client._server = _BrokenServer()
+        client._pending = [protocol.get(b"a"), protocol.get(b"b")]
+        with pytest.raises(BatchRejectedError):
+            client.flush()
+
+
+class TestFlushBatchHook:
+    def test_flush_batch_matches_handle_batch_costs(self):
+        requests = [protocol.put(b"key-%03d" % i, b"v" * 16)
+                    for i in range(40)]
+        server_a, store_a = make_server()
+        raw = server_a.handle_batch(protocol.encode_batch(requests))
+        responses_a = protocol.decode_batch_responses(raw,
+                                                      expected=len(requests))
+
+        server_b, store_b = make_server()
+        responses_b = server_b.flush_batch(requests)
+
+        assert [r.status for r in responses_a] == \
+            [r.status for r in responses_b]
+        assert store_b.enclave.meter.events["ecall"] == \
+            store_a.enclave.meter.events["ecall"] == 1
+        assert store_b.enclave.meter.cycles == \
+            pytest.approx(store_a.enclave.meter.cycles)
 
 
 class TestServer:
