@@ -12,7 +12,11 @@ Expected shape (all simulated cycles, never wall-clock):
   >= 20 % of the loss via key-range migration through the trusted path.
 """
 
-from repro.bench.experiments import cluster_rebalance, cluster_scaling
+from repro.bench.experiments import (
+    cluster_rebalance,
+    cluster_replication,
+    cluster_scaling,
+)
 
 from conftest import bench_scale
 
@@ -62,3 +66,33 @@ def test_cluster_rebalance(run_experiment):
     assert rebalanced_row["keys_moved"] > 0
     assert rebalanced_row["rounds"] >= 1
     assert rebalanced_row["hot_share"] < skewed_row["hot_share"]
+
+
+def test_cluster_replication(run_experiment):
+    result = run_experiment(cluster_replication, scale=bench_scale(2048),
+                            n_ops=2000)
+    (r1,) = result.where(replication=1)
+    (r2,) = result.where(replication=2)
+
+    # (c) Write amplification is honest: each replica re-seals every write
+    # under its own keys, so R=2 writes cost ~2x the total cycles (a bit
+    # more, since R=2 also halves each enclave's EPC share).
+    write_amp = r2["write_cycles"] / r1["write_cycles"]
+    assert 1.7 < write_amp < 3.2, write_amp
+
+    # Reads only touch the primary: near parity, and nowhere near the
+    # write amplification.
+    read_amp = r2["read_cycles"] / r1["read_cycles"]
+    assert read_amp < 1.5, read_amp
+    assert read_amp < write_amp
+
+    # A failover read pays for the alarmed attempt plus the peer's
+    # re-execution: strictly dearer than a clean read, but bounded — it
+    # must stay a constant factor, not a resync.
+    assert r2["failover_read_cycles"] > r2["clean_read_cycles"]
+    assert r2["failover_read_cycles"] < 5 * r2["clean_read_cycles"]
+    # R=1 has nowhere to fail over to.
+    assert r1["failover_read_cycles"] == 0.0
+
+    for row in (r1, r2):
+        assert row["throughput ops/s"] > 0

@@ -51,6 +51,23 @@ def _entry_addr(store: AriaStore, key: bytes) -> int:
     return entry_addr
 
 
+def corrupt_record_in_place(store: AriaStore, key: bytes) -> None:
+    """Flip a ciphertext bit of ``key``'s record — and stop there.
+
+    The positioning (index walk to find the entry) runs unmetered: it is
+    the *attacker's* work, not the victim's.  Unlike the scenario
+    functions this does not drive the victim operation; the cluster fault
+    injector uses it to plant corruption that a later, ordinary request
+    trips over (surfacing as ``STATUS_INTEGRITY_FAILURE``).
+    """
+    from repro.sgx.meter import MeterPause
+
+    with MeterPause(store.enclave.meter):
+        entry_addr = _entry_addr(store, key)
+    attacker = UntrustedAttacker(store.enclave.untrusted)
+    attacker.flip_bit(entry_addr + 12 + 8)  # inside the ciphertext
+
+
 def tamper_record_body(store: AriaStore, key: bytes) -> AttackOutcome:
     """Flip one ciphertext bit of a record; the next Get must detect it."""
     entry_addr = _entry_addr(store, key)

@@ -13,8 +13,14 @@ front door:
 * :mod:`~repro.cluster.balancer` — hot-shard detection and key-range
   migration (re-sealed through the trusted path);
 * :mod:`~repro.cluster.netserver` — the asyncio TCP front door plus a
-  synchronous client;
-* :mod:`~repro.cluster.stats` — cluster-wide metrics aggregation.
+  synchronous client with timeouts and read retries;
+* :mod:`~repro.cluster.stats` — cluster-wide metrics aggregation;
+* :mod:`~repro.cluster.replication` — per-partition replica groups:
+  fan-out writes, preferred-replica reads, automatic failover;
+* :mod:`~repro.cluster.faults` — deterministic fault injection
+  (kill / corrupt / net delay / drop / close) on replayable schedules;
+* :mod:`~repro.cluster.health` — replica health tracking, restart, and
+  trusted-path re-sync.
 """
 
 from repro.cluster.balancer import HotShardBalancer, MigrationReport
@@ -23,11 +29,36 @@ from repro.cluster.coordinator import (
     DEFAULT_BATCH_WINDOW,
     build_cluster,
 )
+from repro.cluster.faults import (
+    CLOSE,
+    CORRUPT,
+    DELAY,
+    DROP,
+    KILL,
+    NET_TARGET,
+    FaultEvent,
+    FaultPlan,
+    FaultyShard,
+)
+from repro.cluster.health import (
+    DEFAULT_CHECK_EVERY,
+    HealthMonitor,
+    ResyncReport,
+)
 from repro.cluster.netserver import (
     BackgroundServer,
     ClusterClient,
     ClusterNetServer,
+    DEFAULT_CLIENT_TIMEOUT,
     FRAME_HEADER,
+)
+from repro.cluster.replication import (
+    DEFAULT_REPLICATION,
+    Replica,
+    ReplicaGroup,
+    ReplicaState,
+    build_replica_group,
+    build_replicated_cluster,
 )
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, ring_hash
 from repro.cluster.shard import Shard, build_shards
@@ -35,18 +66,37 @@ from repro.cluster.stats import ClusterStats
 
 __all__ = [
     "BackgroundServer",
+    "CLOSE",
+    "CORRUPT",
     "ClusterClient",
     "ClusterCoordinator",
     "ClusterNetServer",
     "ClusterStats",
     "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_CHECK_EVERY",
+    "DEFAULT_CLIENT_TIMEOUT",
+    "DEFAULT_REPLICATION",
     "DEFAULT_VNODES",
+    "DELAY",
+    "DROP",
     "FRAME_HEADER",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyShard",
     "HashRing",
+    "HealthMonitor",
     "HotShardBalancer",
+    "KILL",
     "MigrationReport",
+    "NET_TARGET",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicaState",
+    "ResyncReport",
     "Shard",
     "build_cluster",
+    "build_replica_group",
+    "build_replicated_cluster",
     "build_shards",
     "ring_hash",
 ]

@@ -18,17 +18,26 @@ even though different shards flush independently.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, List, Optional
 
 from repro.bench.harness import PAPER_EPC_BYTES
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, VnodeSpec
 from repro.cluster.shard import Shard, build_shards
 from repro.cluster.stats import ClusterStats
-from repro.errors import IntegrityError, KeyNotFoundError
+from repro.errors import (
+    AriaError,
+    IntegrityError,
+    KeyNotFoundError,
+    ReplicaUnavailableError,
+)
 from repro.server import protocol
 from repro.server.protocol import (
+    OP_HEALTH,
     STATUS_INTEGRITY_FAILURE,
     STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_UNAVAILABLE,
     Request,
     Response,
 )
@@ -59,13 +68,20 @@ class ClusterCoordinator:
             raise ValueError("ring membership does not match the shard set")
         self.batch_window = batch_window
         self._balancer = None
+        self._health_monitor = None
         self.ops_routed = 0
+        #: Whole-flush failures converted to per-request error responses.
+        self.flush_failures = 0
 
     # -- wiring -------------------------------------------------------------------
 
     def attach_balancer(self, balancer) -> None:
         """Give the balancer a look after every executed batch."""
         self._balancer = balancer
+
+    def attach_health_monitor(self, monitor) -> None:
+        """Let a HealthMonitor inspect replicas after every executed batch."""
+        self._health_monitor = monitor
 
     def shard_for(self, key: bytes) -> Shard:
         return self.shards[self.ring.route(key)]
@@ -87,6 +103,10 @@ class ClusterCoordinator:
         responses: List[Optional[Response]] = [None] * len(requests)
         pending: Dict[str, List[int]] = {sid: [] for sid in self.shards}
         for seq, request in enumerate(requests):
+            if request.opcode == OP_HEALTH:
+                # Answered at the front door, never routed to an enclave.
+                responses[seq] = self.health_response()
+                continue
             shard_id = self.ring.route(request.key)
             bucket = pending[shard_id]
             bucket.append(seq)
@@ -99,16 +119,30 @@ class ClusterCoordinator:
         self.ops_routed += len(requests)
         if self._balancer is not None:
             self._balancer.observe(len(requests))
+        if self._health_monitor is not None:
+            self._health_monitor.observe(len(requests))
         return responses  # type: ignore[return-value]  # all slots filled
 
     def _flush(self, shard_id: str, seqs: List[int],
                requests: List[Request],
                responses: List[Optional[Response]]) -> None:
+        """One shard flush; a failing shard costs error responses, not the
+        batch: every request it owned gets ``STATUS_UNAVAILABLE`` and the
+        other shards' response slots are untouched."""
         shard = self.shards[shard_id]
         shard.ops_routed += len(seqs)
-        for seq, response in zip(
-            seqs, shard.server.flush_batch(requests[s] for s in seqs)
-        ):
+        try:
+            flushed = shard.server.flush_batch(requests[s] for s in seqs)
+        except AriaError as exc:
+            self.flush_failures += 1
+            error = Response(
+                STATUS_UNAVAILABLE,
+                f"shard {shard_id} failed: {type(exc).__name__}".encode(),
+            )
+            for seq in seqs:
+                responses[seq] = error
+            return
+        for seq, response in zip(seqs, flushed):
             responses[seq] = response
 
     # -- convenience single-request API (one ECALL each, like AriaClient) --------
@@ -119,12 +153,16 @@ class ClusterCoordinator:
             raise KeyNotFoundError(key)
         if response.status == STATUS_INTEGRITY_FAILURE:
             raise IntegrityError(response.value.decode())
+        if response.status == STATUS_UNAVAILABLE:
+            raise ReplicaUnavailableError(response.value.decode())
         return response.value
 
     def put(self, key: bytes, value: bytes) -> None:
         response = self._single(protocol.put(key, value))
         if response.status == STATUS_INTEGRITY_FAILURE:
             raise IntegrityError(response.value.decode())
+        if response.status == STATUS_UNAVAILABLE:
+            raise ReplicaUnavailableError(response.value.decode())
 
     def delete(self, key: bytes) -> None:
         response = self._single(protocol.delete(key))
@@ -132,13 +170,54 @@ class ClusterCoordinator:
             raise KeyNotFoundError(key)
         if response.status == STATUS_INTEGRITY_FAILURE:
             raise IntegrityError(response.value.decode())
+        if response.status == STATUS_UNAVAILABLE:
+            raise ReplicaUnavailableError(response.value.decode())
 
     def _single(self, request: Request) -> Response:
         shard = self.shard_for(request.key)
         shard.ops_routed += 1
         self.ops_routed += 1
-        [response] = shard.server.flush_batch([request])
+        try:
+            [response] = shard.server.flush_batch([request])
+        except AriaError as exc:
+            self.flush_failures += 1
+            response = Response(
+                STATUS_UNAVAILABLE,
+                f"shard {shard.shard_id} failed: "
+                f"{type(exc).__name__}".encode(),
+            )
         return response
+
+    # -- health -------------------------------------------------------------------
+
+    def health_response(self) -> Response:
+        """The OP_HEALTH reply: a JSON cluster summary (no enclave touched).
+
+        Per shard: ``"up"``/``"down"`` for plain shards (a plain shard is
+        down only when crashed by fault injection), or a replica-state map
+        for replica groups.
+        """
+        shards: Dict[str, object] = {}
+        up = 0
+        for shard in self.shard_list():
+            replicas = getattr(shard, "replicas", None)
+            if replicas is not None:
+                states = {r.replica_id: r.state.value for r in replicas}
+                shards[shard.shard_id] = states
+                up += any(state == "up" for state in states.values())
+            else:
+                alive = not getattr(shard, "crashed", False)
+                shards[shard.shard_id] = "up" if alive else "down"
+                up += alive
+        summary = {
+            "shards": shards,
+            "n_shards": len(self.shards),
+            "n_serving": up,
+            "ops_routed": self.ops_routed,
+            "flush_failures": self.flush_failures,
+        }
+        return Response(STATUS_OK,
+                        json.dumps(summary, sort_keys=True).encode())
 
     # -- bulk load (unmetered, mirrors AriaStore.load) ----------------------------
 

@@ -1,0 +1,321 @@
+"""Deterministic fault injection for the cluster serving layer.
+
+The paper's threat model (Section II-B) makes the *host* adversarial; a
+production deployment additionally has to survive the mundane versions of
+the same events — enclaves dying, untrusted memory rotting, connections
+hanging.  This module stages both kinds on a fixed, replayable schedule:
+
+* :class:`FaultPlan` — an ordered schedule of :class:`FaultEvent`\\ s, each
+  addressed to a target (a replica's shard id, or ``"net"`` for the TCP
+  front door) and triggered when that target's own operation/frame counter
+  reaches ``at``.  Plans are pure data: the same plan against the same
+  workload produces the same failure history, which is what makes chaos
+  tests assertable.
+* :class:`FaultyShard` — a drop-in :class:`~repro.cluster.shard.Shard`
+  wrapper whose server counts the requests it flushes and consults the
+  plan before every flush: a due ``kill`` raises
+  :class:`~repro.errors.ShardCrashedError` (and keeps raising until
+  :meth:`FaultyShard.restart`), a due ``corrupt`` flips a ciphertext bit
+  in the shard's untrusted memory via ``repro.attacks`` so the *next*
+  touch of that record trips an integrity alarm.
+* net faults (``delay`` / ``drop`` / ``close``) are consumed by
+  :class:`~repro.cluster.netserver.ClusterNetServer`, keyed by its served
+  frame count.
+
+A **kill** models the loss of the enclave, not of the host: EPC contents
+and trust anchors are gone, so :meth:`FaultyShard.restart` brings up a
+*fresh* enclave (new keys, empty store) that must re-sync from a live
+replica through the trusted path before serving again (see
+``repro.cluster.health``).  Harnik et al. plan for exactly this restart
+path in production SGX storage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ShardCrashedError
+
+KILL = "kill"
+CORRUPT = "corrupt"
+DELAY = "delay"
+DROP = "drop"
+CLOSE = "close"
+
+#: The FaultPlan target consumed by the TCP front door.
+NET_TARGET = "net"
+
+_SHARD_KINDS = {KILL, CORRUPT}
+_NET_KINDS = {DELAY, DROP, CLOSE}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at`` is a per-target trigger point: for shard faults, the number of
+    requests the target has flushed; for net faults, the number of frames
+    the server has served.  Each event fires exactly once.
+    """
+
+    kind: str
+    target: str
+    at: int
+    key: bytes = b""        # CORRUPT: record to tamper (b"" = first key)
+    seconds: float = 0.0    # DELAY: how long to stall the response
+
+    def __post_init__(self):
+        if self.kind not in _SHARD_KINDS | _NET_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("fault trigger point must be >= 0")
+
+
+class FaultPlan:
+    """An immutable schedule of faults plus the fired-state bookkeeping."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._by_target: Dict[str, List[FaultEvent]] = {}
+        for event in sorted(events, key=lambda e: (e.at, e.kind)):
+            self._by_target.setdefault(event.target, []).append(event)
+        self._fired: set = set()
+
+    # -- fluent construction ------------------------------------------------------
+
+    def _add(self, event: FaultEvent) -> "FaultPlan":
+        self._by_target.setdefault(event.target, []).append(event)
+        self._by_target[event.target].sort(key=lambda e: (e.at, e.kind))
+        return self
+
+    def kill(self, target: str, at: int) -> "FaultPlan":
+        return self._add(FaultEvent(KILL, target, at))
+
+    def corrupt(self, target: str, at: int, key: bytes = b"") -> "FaultPlan":
+        return self._add(FaultEvent(CORRUPT, target, at, key=key))
+
+    def delay(self, at: int, seconds: float,
+              target: str = NET_TARGET) -> "FaultPlan":
+        return self._add(FaultEvent(DELAY, target, at, seconds=seconds))
+
+    def drop(self, at: int, target: str = NET_TARGET) -> "FaultPlan":
+        return self._add(FaultEvent(DROP, target, at))
+
+    def close(self, at: int, target: str = NET_TARGET) -> "FaultPlan":
+        return self._add(FaultEvent(CLOSE, target, at))
+
+    # -- consumption --------------------------------------------------------------
+
+    def events_for(self, target: str) -> List[FaultEvent]:
+        return list(self._by_target.get(target, ()))
+
+    def pop_due(self, target: str, counter: int) -> List[FaultEvent]:
+        """Events for ``target`` with ``at <= counter`` not yet fired."""
+        due = []
+        for event in self._by_target.get(target, ()):
+            if event.at <= counter and id(event) not in self._fired:
+                self._fired.add(id(event))
+                due.append(event)
+        return due
+
+    def fired(self) -> int:
+        """How many of the plan's events have been consumed so far."""
+        return len(self._fired)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_target.values())
+
+    # -- randomized-but-deterministic schedules -----------------------------------
+
+    @classmethod
+    def chaos(
+        cls,
+        targets: List[str],
+        *,
+        horizon: int,
+        n_kills: int = 2,
+        n_corrupts: int = 2,
+        min_gap: int = 0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """A seeded random kill/corrupt schedule over ``targets``.
+
+        Trigger points are drawn uniformly from ``[1, horizon)`` and then
+        spaced at least ``min_gap`` ops apart *globally*, so a recovery
+        pass (health check + re-sync) scheduled between faults gets a
+        chance to run before the next one lands — the chaos test's
+        "killing any *single* replica" regime rather than a simultaneous
+        multi-kill.  Same (targets, horizon, counts, seed) → same plan.
+        """
+        if not targets:
+            raise ValueError("chaos needs at least one target")
+        rng = random.Random(seed)
+        kinds = [KILL] * n_kills + [CORRUPT] * n_corrupts
+        rng.shuffle(kinds)
+        points: List[int] = []
+        at = 0
+        for i, _ in enumerate(kinds):
+            at = max(at + min_gap, rng.randrange(1, max(2, horizon)))
+            points.append(at)
+        events = [
+            FaultEvent(kind, rng.choice(targets), at)
+            for kind, at in zip(kinds, sorted(points))
+        ]
+        return cls(events)
+
+
+class _FaultyServer:
+    """The request-path interposer: counts flushes, fires due faults."""
+
+    def __init__(self, owner: "FaultyShard"):
+        self._owner = owner
+
+    def flush_batch(self, requests) -> list:
+        requests = list(requests)
+        owner = self._owner
+        owner.ops_flushed += len(requests)
+        for event in owner.plan.pop_due(owner.shard_id, owner.ops_flushed):
+            owner.apply(event)
+        if owner.crashed:
+            raise ShardCrashedError(
+                f"shard {owner.shard_id} is down (enclave killed)"
+            )
+        return owner.inner.server.flush_batch(requests)
+
+
+class FaultyShard:
+    """A Shard wrapper that injects the plan's faults into its own path.
+
+    Duck-types :class:`~repro.cluster.shard.Shard` (``shard_id``, ``store``,
+    ``server``, ``meter``, balancer marks, ``stats``) so coordinators,
+    replica groups, balancers and stats aggregation all work unchanged.
+    Touching the ``store`` or ``server`` of a crashed shard raises
+    :class:`~repro.errors.ShardCrashedError` — dead enclaves don't answer.
+    """
+
+    def __init__(
+        self,
+        shard,
+        plan: Optional[FaultPlan] = None,
+        *,
+        rebuild: Optional[Callable[[], object]] = None,
+    ):
+        self.inner = shard
+        self.plan = plan or FaultPlan()
+        self._rebuild = rebuild
+        self.crashed = False
+        self.ops_flushed = 0
+        self.restarts = 0
+        self.corruptions = 0
+        self._server = _FaultyServer(self)
+
+    # -- fault application --------------------------------------------------------
+
+    def apply(self, event: FaultEvent) -> None:
+        if event.kind == KILL:
+            self.kill()
+        elif event.kind == CORRUPT:
+            self.corrupt(event.key)
+        else:  # pragma: no cover - plans are validated at construction
+            raise ValueError(f"shard cannot apply fault {event.kind!r}")
+
+    def kill(self) -> None:
+        """Kill the enclave: every later touch raises ShardCrashedError."""
+        self.crashed = True
+
+    def corrupt(self, key: bytes = b"") -> None:
+        """Flip a ciphertext bit of one record in untrusted memory.
+
+        With no explicit ``key``, the first key the index yields is hit —
+        deterministic for a given store history.  A corrupt on an empty
+        (or crashed) shard is a no-op: there is nothing to tamper with.
+        """
+        from repro.attacks.scenarios import corrupt_record_in_place
+        from repro.errors import AriaError
+        from repro.sgx.meter import MeterPause
+
+        if self.crashed or len(self.inner.store) == 0:
+            return
+        try:
+            # Victim selection is the attacker's work (and walks verified
+            # records), so it runs unmetered.
+            with MeterPause(self.inner.store.enclave.meter):
+                victim = key or next(iter(self.inner.store.keys()))
+            corrupt_record_in_place(self.inner.store, victim)
+        except AriaError:
+            # Locating a record tripped an alarm (a prior corruption on
+            # this replica) or the key is gone: nothing further to plant.
+            return
+        self.corruptions += 1
+
+    def restart(self):
+        """Replace the dead enclave with a fresh, *empty* one.
+
+        EPC contents (keys, trust anchors, Secure Cache) did not survive,
+        so the replacement shares nothing with its predecessor; the health
+        monitor must re-sync it from a live replica before it serves.
+        Returns the new inner shard.
+        """
+        if not self.crashed:
+            raise ShardCrashedError(
+                f"shard {self.shard_id} is not down; nothing to restart"
+            )
+        if self._rebuild is None:
+            raise ShardCrashedError(
+                f"shard {self.shard_id} has no rebuild recipe"
+            )
+        self.inner = self._rebuild()
+        self.crashed = False
+        self.restarts += 1
+        return self.inner
+
+    # -- Shard duck-typing --------------------------------------------------------
+
+    @property
+    def shard_id(self) -> str:
+        return self.inner.shard_id
+
+    @property
+    def store(self):
+        if self.crashed:
+            raise ShardCrashedError(
+                f"shard {self.shard_id} is down (enclave killed)"
+            )
+        return self.inner.store
+
+    @property
+    def server(self):
+        return self._server
+
+    @property
+    def epc_bytes(self) -> int:
+        return self.inner.epc_bytes
+
+    @property
+    def meter(self):
+        return self.inner.meter
+
+    @property
+    def ops_routed(self) -> int:
+        return self.inner.ops_routed
+
+    @ops_routed.setter
+    def ops_routed(self, value: int) -> None:
+        self.inner.ops_routed = value
+
+    def load_since_mark(self) -> float:
+        return self.inner.load_since_mark()
+
+    def mark_load(self) -> None:
+        self.inner.mark_load()
+
+    def stats(self) -> dict:
+        row = self.inner.stats()
+        row["crashed"] = self.crashed
+        row["restarts"] = self.restarts
+        return row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "down" if self.crashed else "up"
+        return f"FaultyShard({self.shard_id!r}, {state})"

@@ -1,0 +1,151 @@
+"""Replica health tracking, restart, and trusted-path re-sync.
+
+Tang et al.'s enclave KV stores treat integrity alarms as runtime events to
+recover from; Harnik et al.'s production guidance is that enclaves *will*
+restart.  The :class:`HealthMonitor` is the recovery loop that makes both
+survivable in this reproduction:
+
+* a replica marked DOWN by its :class:`~repro.cluster.replication
+  .ReplicaGroup` (crash or integrity quarantine) is **restarted** — the
+  dead enclave is discarded and a fresh one built (new key material, empty
+  store; EPC contents never survive);
+* the restarted replica enters RECOVERING and is **re-synced** from a live
+  peer before it serves a single request: every key is read from the peer
+  (index walk + MAC verify + decrypt, charged to the peer's meter) and
+  re-put into the newcomer (re-encrypted and re-MACed under *its* keys,
+  charged to its meter).  Enclaves share no key material, so state can
+  only ever move between them through this verified, re-sealed path — the
+  same one the balancer's migrations use;
+* only after a complete copy does the replica rejoin as UP, becoming
+  eligible for reads and the write fan-out again.
+
+The monitor piggybacks on the serving loop the same way the balancer does:
+attach it to the coordinator and it inspects the cluster every
+``check_every`` routed requests; or drive :meth:`check` directly from a
+test or operations script.  With no live peer in a group, its dead
+replicas stay DOWN — an empty restarted enclave must never masquerade as
+a copy of data that no longer exists anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.replication import Replica, ReplicaGroup, ReplicaState
+from repro.errors import ShardCrashedError
+
+DEFAULT_CHECK_EVERY = 512
+
+
+@dataclass
+class ResyncReport:
+    """One completed recovery: which replica, from whom, at what cost."""
+
+    group: str
+    replica: str
+    source: str
+    keys_copied: int
+    src_cycles: float    # verified reads charged to the live peer
+    dst_cycles: float    # re-sealed puts charged to the recovered replica
+    restarted: bool
+
+
+class HealthMonitor:
+    """Watches replica groups; restarts and re-syncs DOWN replicas."""
+
+    def __init__(self, coordinator, *, check_every: int = DEFAULT_CHECK_EVERY,
+                 auto_restart: bool = True):
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self._coordinator = coordinator
+        self.check_every = check_every
+        self.auto_restart = auto_restart
+        self.history: List[ResyncReport] = []
+        self._ops_since_check = 0
+
+    # -- driving ------------------------------------------------------------------
+
+    def observe(self, n_ops: int) -> List[ResyncReport]:
+        """Account routed ops; run a health check once per window."""
+        self._ops_since_check += n_ops
+        if self._ops_since_check < self.check_every:
+            return []
+        self._ops_since_check = 0
+        return self.check()
+
+    def check(self) -> List[ResyncReport]:
+        """One inspection round over every replica group."""
+        reports: List[ResyncReport] = []
+        for group in self._coordinator.shard_list():
+            replicas = getattr(group, "replicas", None)
+            if not replicas:
+                continue  # a plain, unreplicated shard: nothing to heal
+            for replica in replicas:
+                restarted = False
+                if replica.state is ReplicaState.DOWN and self.auto_restart:
+                    restarted = self._restart(replica)
+                if replica.state is ReplicaState.RECOVERING:
+                    report = self.resync(group, replica)
+                    if report is not None:
+                        report.restarted = restarted or report.restarted
+                        reports.append(report)
+        self.history.extend(reports)
+        return reports
+
+    # -- recovery -----------------------------------------------------------------
+
+    def _restart(self, replica: Replica) -> bool:
+        """Swap the dead/quarantined enclave for a fresh, empty one."""
+        shard = replica.shard
+        if not hasattr(shard, "restart"):
+            return False  # not restartable: stays DOWN for an operator
+        try:
+            if not getattr(shard, "crashed", False):
+                # Quarantined for integrity, enclave still running: its
+                # untrusted state is rotten, so discard it outright rather
+                # than trusting a partial heal.
+                shard.kill()
+            shard.restart()
+        except ShardCrashedError:
+            return False  # no rebuild recipe
+        replica.state = ReplicaState.RECOVERING
+        return True
+
+    def resync(self, group: ReplicaGroup,
+               replica: Replica) -> Optional[ResyncReport]:
+        """Copy the partition's state from a live peer; metered both sides.
+
+        The replica rejoins (UP) only after the full copy lands.  Returns
+        None when no live peer exists — there is nothing trustworthy to
+        copy, so the replica keeps waiting in RECOVERING.
+        """
+        peer = group._first_live()
+        if peer is None or peer is replica:
+            return None
+        src_store = peer.shard.store
+        dst_store = replica.shard.store
+        src_before = peer.shard.meter.cycles
+        dst_before = replica.shard.meter.cycles
+        copied = 0
+        for key in list(src_store.keys()):
+            dst_store.put(key, src_store.get(key))
+            copied += 1
+        replica.state = ReplicaState.UP
+        return ResyncReport(
+            group=group.shard_id,
+            replica=replica.replica_id,
+            source=peer.replica_id,
+            keys_copied=copied,
+            src_cycles=peer.shard.meter.cycles - src_before,
+            dst_cycles=replica.shard.meter.cycles - dst_before,
+            restarted=False,
+        )
+
+    # -- reporting ----------------------------------------------------------------
+
+    def total_resyncs(self) -> int:
+        return len(self.history)
+
+    def total_keys_resynced(self) -> int:
+        return sum(r.keys_copied for r in self.history)

@@ -31,12 +31,21 @@ import asyncio
 import socket
 import struct
 import threading
-from typing import List, Optional, Tuple
+import time
+from typing import Callable, List, Optional, Tuple
 
+from repro.cluster.faults import CLOSE, DELAY, DROP, NET_TARGET, FaultPlan
+from repro.errors import ClusterTimeoutError
 from repro.server import protocol
 from repro.server.protocol import ProtocolError, Request, Response
 
 FRAME_HEADER = struct.Struct("<I")
+
+#: Client-side defaults: a hung server must never block a caller forever.
+DEFAULT_CLIENT_TIMEOUT = 5.0
+DEFAULT_READ_RETRIES = 2
+DEFAULT_BACKOFF = 0.05
+DEFAULT_BACKOFF_CAP = 1.0
 
 
 class ClusterNetServer:
@@ -49,6 +58,7 @@ class ClusterNetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_requests: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self._coordinator = coordinator
         self._host = host
@@ -58,8 +68,14 @@ class ClusterNetServer:
         self._writers: set = set()
         #: Stop after this many request frames (None = serve forever).
         self.max_requests = max_requests
+        #: Deterministic connection-level fault injection: ``delay``/
+        #: ``drop``/``close`` events addressed to ``faults.NET_TARGET``,
+        #: keyed by the served-frame counter.
+        self.fault_plan = fault_plan
         self.frames_served = 0
         self.requests_served = 0
+        self.frames_dropped = 0
+        self.connections_closed_by_fault = 0
 
     @property
     def coordinator(self):
@@ -143,6 +159,13 @@ class ClusterNetServer:
                 responses = self._coordinator.execute(requests)
                 self.frames_served += 1
                 self.requests_served += len(requests)
+                action = await self._apply_net_faults()
+                if action == CLOSE:
+                    self.connections_closed_by_fault += 1
+                    break  # hang up without answering
+                if action == DROP:
+                    self.frames_dropped += 1
+                    continue  # swallow the response; the client times out
                 await self._send(
                     writer, protocol.encode_batch_responses(responses)
                 )
@@ -159,6 +182,21 @@ class ClusterNetServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    async def _apply_net_faults(self) -> Optional[str]:
+        """Fire due connection faults; returns CLOSE/DROP to suppress the
+        response, None to serve normally (delays just stall in place)."""
+        if self.fault_plan is None:
+            return None
+        action: Optional[str] = None
+        for event in self.fault_plan.pop_due(NET_TARGET, self.frames_served):
+            if event.kind == DELAY:
+                await asyncio.sleep(event.seconds)
+            elif event.kind == DROP:
+                action = action or DROP
+            elif event.kind == CLOSE:
+                action = CLOSE
+        return action
+
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, payload: bytes) -> None:
         writer.write(FRAME_HEADER.pack(len(payload)) + payload)
@@ -166,15 +204,73 @@ class ClusterNetServer:
 
 
 class ClusterClient:
-    """Synchronous wire client for the cluster server (stdlib sockets)."""
+    """Synchronous wire client: timeouts, typed errors, bounded retries.
 
-    def __init__(self, host: str, port: int, *, timeout: float = 10.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Every socket operation carries ``timeout`` (connect *and* read), so a
+    hung or fault-injected server surfaces as
+    :class:`~repro.errors.ClusterTimeoutError` instead of blocking the
+    caller forever.  A timeout desynchronizes the stream (the response may
+    still be in flight), so recovery always reconnects before retrying.
+
+    Retries are **reads only**: :meth:`get` (and :meth:`health`) re-issue
+    up to ``retries`` times with exponential backoff (``backoff * 2**n``,
+    capped at ``backoff_cap``) on timeout or connection loss — idempotent,
+    so at-least-once delivery is safe.  :meth:`put`/:meth:`delete` and
+    :meth:`request_batch` never auto-retry: a write whose ack was lost may
+    still have executed, and only the caller knows whether replaying it is
+    acceptable.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = DEFAULT_CLIENT_TIMEOUT,
+        retries: int = DEFAULT_READ_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = retries
+        self._backoff = backoff
+        self._backoff_cap = backoff_cap
+        self._sleep = sleep
+        self.reconnects = 0
+        self.retried_reads = 0
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection((self._host, self._port),
+                                            timeout=self._timeout)
+        except socket.timeout as exc:
+            raise ClusterTimeoutError(
+                f"connect to {self._host}:{self._port} timed out after "
+                f"{self._timeout}s") from exc
+        sock.settimeout(self._timeout)
+        return sock
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._sock = self._connect()
+        self.reconnects += 1
 
     # -- framing ------------------------------------------------------------------
 
     def send_frame(self, payload: bytes) -> None:
-        self._sock.sendall(FRAME_HEADER.pack(len(payload)) + payload)
+        try:
+            self._sock.sendall(FRAME_HEADER.pack(len(payload)) + payload)
+        except socket.timeout as exc:
+            raise ClusterTimeoutError(
+                f"send timed out after {self._timeout}s") from exc
 
     def recv_frame(self) -> bytes:
         header = self._recv_exactly(FRAME_HEADER.size)
@@ -188,7 +284,11 @@ class ClusterClient:
         chunks = []
         remaining = n
         while remaining:
-            chunk = self._sock.recv(remaining)
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout as exc:
+                raise ClusterTimeoutError(
+                    f"no response within {self._timeout}s") from exc
             if not chunk:
                 raise ConnectionError("server closed the connection")
             chunks.append(chunk)
@@ -201,15 +301,36 @@ class ClusterClient:
         """One frame out, one frame back; positional responses.
 
         Raises :class:`~repro.server.protocol.BatchRejectedError` if the
-        server rejected the delivery as a unit.
+        server rejected the delivery as a unit, and
+        :class:`~repro.errors.ClusterTimeoutError` if it never answered.
+        Never retried here — batches may contain writes.
         """
         self.send_frame(protocol.encode_batch(requests))
         return protocol.decode_batch_responses(self.recv_frame(),
                                                expected=len(requests))
 
+    def _retrying_single(self, request: Request) -> Response:
+        """At-least-once delivery for an idempotent single request."""
+        attempt = 0
+        while True:
+            try:
+                [response] = self.request_batch([request])
+                return response
+            except (ClusterTimeoutError, ConnectionError, OSError):
+                if attempt >= self._retries:
+                    raise
+                self._sleep(min(self._backoff * (2 ** attempt),
+                                self._backoff_cap))
+                self._reconnect()
+                self.retried_reads += 1
+                attempt += 1
+
     def get(self, key: bytes) -> Response:
-        [response] = self.request_batch([protocol.get(key)])
-        return response
+        return self._retrying_single(protocol.get(key))
+
+    def health(self) -> Response:
+        """Probe the cluster (OP_HEALTH); retried like any read."""
+        return self._retrying_single(protocol.health())
 
     def put(self, key: bytes, value: bytes) -> Response:
         [response] = self.request_batch([protocol.put(key, value)])
@@ -241,9 +362,11 @@ class BackgroundServer:
     """
 
     def __init__(self, coordinator, *, host: str = "127.0.0.1",
-                 port: int = 0, max_requests: Optional[int] = None):
+                 port: int = 0, max_requests: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.server = ClusterNetServer(coordinator, host=host, port=port,
-                                       max_requests=max_requests)
+                                       max_requests=max_requests,
+                                       fault_plan=fault_plan)
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ready = threading.Event()

@@ -1,0 +1,509 @@
+"""Per-shard replication: R independent enclaves behind one ring partition.
+
+The ROADMAP's top open item, and the piece that turns a shard crash or a
+tampered record from a lost batch into a served request.  One
+:class:`ReplicaGroup` owns a ring partition and duck-types
+:class:`~repro.cluster.shard.Shard`, so the coordinator, balancer and stats
+layers work unchanged; inside, it holds R replicas, each a *separate*
+:class:`~repro.sgx.enclave.Enclave` with its own key material — enclaves
+share no secrets, so a write is applied to every live replica through the
+trusted path and re-sealed under each replica's own keys, with every cycle
+metered on that replica's meter.  Replication is never free here: the
+benchmarks measure its write amplification honestly.
+
+Request semantics (:meth:`ReplicaGroup.flush_batch`):
+
+* the **primary** — the first live replica — executes the full batch in
+  arrival order, preserving the per-key ordering contract even for
+  read/write interleavings within one batch;
+* every other live replica then executes the batch's *writes* (in order),
+  converging on the same end state;
+* a replica that **crashes** (:class:`~repro.errors.ShardCrashedError`) is
+  marked DOWN and the batch is retried on the next live replica — the
+  caller never sees the crash;
+* a replica that raises an **integrity alarm** is quarantined (marked DOWN
+  for re-sync) and the failing *reads* fail over to a peer — unless it is
+  the group's last live replica, in which case the alarm surfaces to the
+  client (``STATUS_INTEGRITY_FAILURE``) rather than silently going dark:
+  an attacked-but-alive store is still more useful than no store;
+* with **no live replica at all**, every request in the batch gets
+  ``STATUS_UNAVAILABLE`` — an error response, never a lost slot.
+
+A DOWN replica stays out of the read and write paths until the
+:class:`~repro.cluster.health.HealthMonitor` restarts it and re-syncs its
+state from a live peer (verified reads on the peer, re-sealed puts on the
+newcomer — the same trusted path the balancer's migrations use).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.bench.harness import PAPER_EPC_BYTES
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    DEFAULT_BATCH_WINDOW,
+)
+from repro.cluster.faults import FaultPlan, FaultyShard
+from repro.cluster.ring import DEFAULT_VNODES, VnodeSpec
+from repro.cluster.shard import MIN_SHARD_EPC_BYTES, Shard
+from repro.errors import (
+    IntegrityError,
+    KeyNotFoundError,
+    ReplicaUnavailableError,
+    ShardCrashedError,
+)
+from repro.server.protocol import (
+    OP_GET,
+    STATUS_INTEGRITY_FAILURE,
+    STATUS_UNAVAILABLE,
+    Request,
+    Response,
+)
+from repro.sgx.meter import MeterSnapshot
+
+DEFAULT_REPLICATION = 2
+
+
+class ReplicaState(enum.Enum):
+    UP = "up"
+    DOWN = "down"
+    RECOVERING = "recovering"
+
+
+class Replica:
+    """One copy of a partition: a shard plus its health bookkeeping."""
+
+    def __init__(self, shard):
+        self.shard = shard
+        self.state = ReplicaState.UP
+        self.downs = 0
+        self.last_reason = ""
+
+    @property
+    def replica_id(self) -> str:
+        return self.shard.shard_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Replica({self.replica_id!r}, {self.state.value})"
+
+
+def _unavailable(group_id: str) -> Response:
+    return Response(STATUS_UNAVAILABLE,
+                    b"no live replica in " + group_id.encode())
+
+
+class ReplicaGroup:
+    """R replica shards serving one ring partition, Shard-duck-typed."""
+
+    def __init__(self, group_id: str, shards: List):
+        if not shards:
+            raise ValueError("a replica group needs at least one replica")
+        self.shard_id = group_id
+        self.replicas = [Replica(s) for s in shards]
+        self.ops_routed = 0
+        self.failovers = 0
+        self.unavailable_requests = 0
+        self._store = _GroupStore(self)
+        self._meter = _GroupMeter(self)
+
+    # -- membership ---------------------------------------------------------------
+
+    def live_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas if r.state is ReplicaState.UP]
+
+    def _first_live(self) -> Optional[Replica]:
+        for replica in self.replicas:
+            if replica.state is ReplicaState.UP:
+                return replica
+        return None
+
+    def mark_down(self, replica: Replica, reason: str) -> None:
+        if replica.state is ReplicaState.DOWN:
+            return
+        replica.state = ReplicaState.DOWN
+        replica.downs += 1
+        replica.last_reason = reason
+
+    # -- the replicated request path ----------------------------------------------
+
+    @property
+    def server(self) -> "ReplicaGroup":
+        return self  # the group is its own flush_batch endpoint
+
+    def flush_batch(self, requests) -> List[Response]:
+        requests = list(requests)
+        if not requests:
+            return []
+        write_positions = [i for i, r in enumerate(requests)
+                           if r.opcode != OP_GET]
+        writes = [requests[i] for i in write_positions]
+
+        # 1. Primary pass: the full batch, in order, on the first live
+        #    replica; crashes promote the next replica transparently.
+        primary = None
+        responses: Optional[List[Response]] = None
+        while primary is None:
+            replica = self._first_live()
+            if replica is None:
+                self.unavailable_requests += len(requests)
+                return [_unavailable(self.shard_id)] * len(requests)
+            try:
+                responses = list(replica.shard.server.flush_batch(requests))
+            except ShardCrashedError:
+                self.mark_down(replica, "crash")
+                self.failovers += 1
+                continue
+            primary = replica
+
+        # 2. Write fan-out: every other live replica applies the writes in
+        #    order, re-sealing each record under its own keys.  The first
+        #    peer's acks are kept so a rotten primary's write responses can
+        #    be substituted below.
+        peer_write_responses: Optional[List[Response]] = None
+        if writes:
+            for replica in list(self.live_replicas()):
+                if replica is primary:
+                    continue
+                try:
+                    peer = list(replica.shard.server.flush_batch(writes))
+                except ShardCrashedError:
+                    self.mark_down(replica, "crash")
+                    continue
+                if any(r.status == STATUS_INTEGRITY_FAILURE for r in peer):
+                    # This replica's untrusted memory is rotten; quarantine
+                    # it for re-sync rather than let it diverge.
+                    self.mark_down(replica, "integrity")
+                    continue
+                if peer_write_responses is None:
+                    peer_write_responses = peer
+
+        # 3. Integrity failover off the primary: quarantine it and re-serve
+        #    the alarmed requests from peers (writes from the fan-out acks,
+        #    reads by re-execution) — unless the primary is the last live
+        #    replica, in which case the alarm surfaces.
+        alarmed = [i for i, r in enumerate(responses)
+                   if r.status == STATUS_INTEGRITY_FAILURE]
+        if alarmed and len(self.live_replicas()) > 1:
+            self.mark_down(primary, "integrity")
+            if peer_write_responses is not None:
+                write_index = {pos: j
+                               for j, pos in enumerate(write_positions)}
+                for i in alarmed:
+                    if i in write_index:
+                        responses[i] = peer_write_responses[write_index[i]]
+                        self.failovers += 1
+            alarmed_reads = [i for i in alarmed
+                             if requests[i].opcode == OP_GET]
+            self._failover_reads(alarmed_reads, requests, responses)
+        return responses
+
+    def _failover_reads(self, positions: List[int],
+                        requests: List[Request],
+                        responses: List[Response]) -> None:
+        """Re-serve the reads at ``positions`` on successive live replicas."""
+        remaining = list(positions)
+        while remaining:
+            replica = self._first_live()
+            if replica is None:
+                for i in remaining:
+                    responses[i] = _unavailable(self.shard_id)
+                self.unavailable_requests += len(remaining)
+                return
+            try:
+                retried = list(replica.shard.server.flush_batch(
+                    [requests[i] for i in remaining]
+                ))
+            except ShardCrashedError:
+                self.mark_down(replica, "crash")
+                continue
+            self.failovers += len(remaining)
+            for i, response in zip(remaining, retried):
+                responses[i] = response
+            still_bad = [i for i, r in zip(remaining, retried)
+                         if r.status == STATUS_INTEGRITY_FAILURE]
+            if not still_bad or len(self.live_replicas()) <= 1:
+                return  # clean, or the last live replica: surface the alarm
+            self.mark_down(replica, "integrity")
+            remaining = still_bad
+
+    # -- Shard duck-typing: store facade, meter, balancer marks -------------------
+
+    @property
+    def store(self) -> "_GroupStore":
+        return self._store
+
+    @property
+    def meter(self) -> "_GroupMeter":
+        return self._meter
+
+    @property
+    def epc_bytes(self) -> int:
+        return sum(r.shard.epc_bytes for r in self.replicas)
+
+    def load_since_mark(self) -> float:
+        return max(r.shard.load_since_mark() for r in self.replicas)
+
+    def mark_load(self) -> None:
+        for replica in self.replicas:
+            replica.shard.mark_load()
+
+    def stats(self) -> dict:
+        primary = self._first_live() or self.replicas[0]
+        row = primary.shard.stats()
+        row["shard"] = self.shard_id
+        row["ops_routed"] = self.ops_routed
+        row["replication"] = len(self.replicas)
+        row["replicas_up"] = len(self.live_replicas())
+        row["failovers"] = self.failovers
+        row["replicas"] = {
+            r.replica_id: {"state": r.state.value, "downs": r.downs,
+                           "reason": r.last_reason,
+                           "cycles": r.shard.meter.cycles}
+            for r in self.replicas
+        }
+        return row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        states = ",".join(r.state.value for r in self.replicas)
+        return f"ReplicaGroup({self.shard_id!r}, [{states}])"
+
+
+class _GroupStore:
+    """Store facade: verified reads off the primary, writes fanned out.
+
+    Gives the coordinator's ``load``/``total_keys`` and the balancer's
+    trusted-path migration an unchanged API over the whole group: a
+    migration Put lands on (and is re-sealed by) *every* live replica.
+    """
+
+    def __init__(self, group: ReplicaGroup):
+        self._group = group
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes:
+        group = self._group
+        while True:
+            replica = group._first_live()
+            if replica is None:
+                raise ReplicaUnavailableError(
+                    f"no live replica in {group.shard_id}")
+            try:
+                return replica.shard.store.get(key)
+            except ShardCrashedError:
+                group.mark_down(replica, "crash")
+                group.failovers += 1
+            except IntegrityError:
+                if len(group.live_replicas()) <= 1:
+                    raise
+                group.mark_down(replica, "integrity")
+                group.failovers += 1
+
+    def keys(self):
+        return self._primary_store().keys()
+
+    def __len__(self) -> int:
+        replica = self._group._first_live()
+        if replica is None:
+            return 0
+        return len(replica.shard.store)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._primary_store()
+
+    # -- writes -------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        group = self._group
+        applied = 0
+        for replica in list(group.live_replicas()):
+            try:
+                replica.shard.store.put(key, value)
+                applied += 1
+            except ShardCrashedError:
+                group.mark_down(replica, "crash")
+        if not applied:
+            raise ReplicaUnavailableError(
+                f"no live replica in {group.shard_id}")
+
+    def delete(self, key: bytes) -> None:
+        group = self._group
+        applied = 0
+        deleted = 0
+        for replica in list(group.live_replicas()):
+            try:
+                replica.shard.store.delete(key)
+                deleted += 1
+                applied += 1
+            except KeyNotFoundError:
+                applied += 1
+            except ShardCrashedError:
+                group.mark_down(replica, "crash")
+        if not applied:
+            raise ReplicaUnavailableError(
+                f"no live replica in {group.shard_id}")
+        if not deleted:
+            raise KeyNotFoundError(key)
+
+    def load(self, pairs) -> None:
+        """Bulk-load every (non-crashed) replica — unmetered setup."""
+        pairs = list(pairs)
+        for replica in self._group.replicas:
+            try:
+                replica.shard.store.load(pairs)
+            except ShardCrashedError:  # pragma: no cover - load-time kill
+                self._group.mark_down(replica, "crash")
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _primary_store(self):
+        replica = self._group._first_live()
+        if replica is None:
+            raise ReplicaUnavailableError(
+                f"no live replica in {self._group.shard_id}")
+        return replica.shard.store
+
+    @property
+    def enclave(self):
+        """Any replica's enclave (for platform constants in stats)."""
+        replica = self._group._first_live()
+        if replica is not None:
+            return replica.shard.store.enclave
+        shard = self._group.replicas[0].shard
+        return getattr(shard, "inner", shard).store.enclave
+
+
+class _GroupMeter:
+    """A merged meter view so ``ClusterStats`` can aggregate groups.
+
+    Replicas run in parallel, so the group's wall-clock contribution is
+    its *slowest* replica: ``cycles`` is the max over replica meters.
+    Event counts are summed — executed ops across a replicated group
+    genuinely exceed routed ops (write amplification), and the stats layer
+    reports that honestly.  After a replica restart (fresh meter) the max
+    and the sums can dip; windows that span a restart are approximate.
+    """
+
+    def __init__(self, group: ReplicaGroup):
+        self._group = group
+
+    def _meters(self):
+        return [r.shard.meter for r in self._group.replicas]
+
+    @property
+    def cycles(self) -> float:
+        return max(m.cycles for m in self._meters())
+
+    @property
+    def events(self):
+        total = None
+        for meter in self._meters():
+            counter = meter.events
+            total = counter.copy() if total is None else total + counter
+        return total
+
+    def snapshot(self) -> MeterSnapshot:
+        return MeterSnapshot(cycles=self.cycles, events=self.events)
+
+
+# -- construction ---------------------------------------------------------------
+
+
+def build_replica_group(
+    group_id: str,
+    replication: int,
+    *,
+    epc_bytes: int,
+    capacity_keys: int,
+    index: str = "hash",
+    seed: int = 0,
+    value_hint: int = 16,
+    fault_plan: Optional[FaultPlan] = None,
+    **config_overrides,
+) -> ReplicaGroup:
+    """R independent enclaves for one partition, each with its own keys.
+
+    Replica ids are ``<group_id>/r<j>`` (the FaultPlan's addressing).
+    Every replica gets a distinct seed, hence distinct
+    :class:`~repro.crypto.keys.KeyMaterial`; a restart mints yet another
+    seed, because a fresh enclave never inherits its predecessor's keys.
+    """
+    if replication < 1:
+        raise ValueError("replication factor must be >= 1")
+    shards = []
+    for j in range(replication):
+        replica_id = f"{group_id}/r{j}"
+        replica_seed = seed + 17 * j + 1
+
+        def make_rebuild(rid: str, base_seed: int) -> Callable[[], Shard]:
+            incarnation = {"n": 0}
+
+            def rebuild() -> Shard:
+                incarnation["n"] += 1
+                return Shard(
+                    rid,
+                    epc_bytes=epc_bytes,
+                    capacity_keys=capacity_keys,
+                    index=index,
+                    seed=base_seed + 7919 * incarnation["n"],
+                    value_hint=value_hint,
+                    **config_overrides,
+                )
+
+            return rebuild
+
+        rebuild = make_rebuild(replica_id, replica_seed)
+        shard = Shard(
+            replica_id,
+            epc_bytes=epc_bytes,
+            capacity_keys=capacity_keys,
+            index=index,
+            seed=replica_seed,
+            value_hint=value_hint,
+            **config_overrides,
+        )
+        shards.append(FaultyShard(shard, fault_plan, rebuild=rebuild))
+    return ReplicaGroup(group_id, shards)
+
+
+def build_replicated_cluster(
+    n_shards: int,
+    *,
+    replication: int = DEFAULT_REPLICATION,
+    n_keys: int,
+    cluster_epc_bytes: int = PAPER_EPC_BYTES,
+    scale: int = 1,
+    index: str = "hash",
+    vnodes: VnodeSpec = DEFAULT_VNODES,
+    batch_window: int = DEFAULT_BATCH_WINDOW,
+    seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    **shard_overrides,
+) -> ClusterCoordinator:
+    """A cluster of N partitions × R replica enclaves behind one ring.
+
+    Like :func:`~repro.cluster.coordinator.build_cluster`, but the EPC
+    budget is carved across *all* ``n_shards * replication`` enclaves —
+    replication's memory cost is paid inside the same envelope, so R=2
+    halves each enclave's share rather than conjuring free hardware.
+    """
+    total_enclaves = n_shards * replication
+    per_enclave = max(MIN_SHARD_EPC_BYTES,
+                      cluster_epc_bytes // scale // total_enclaves)
+    groups = [
+        build_replica_group(
+            f"shard-{i}",
+            replication,
+            epc_bytes=per_enclave,
+            capacity_keys=n_keys,
+            index=index,
+            seed=seed + 101 * i,
+            fault_plan=fault_plan,
+            **shard_overrides,
+        )
+        for i in range(n_shards)
+    ]
+    return ClusterCoordinator(groups, vnodes=vnodes,
+                              batch_window=batch_window)

@@ -103,22 +103,38 @@ class ClusterStats:
             for row in per_shard.values()
         )
         total_keys = sum(row["keys"] for row in per_shard.values())
-        return {
-            "shards": per_shard,
-            "cluster": {
-                "n_shards": len(self._shards),
-                "keys": total_keys,
-                "window_ops": ops,
-                "cycles_max": cycles_max,
-                "cycles_sum": self.cycles_sum(),
-                "parallel_efficiency": (
-                    self.cycles_sum() / (cycles_max * len(self._shards))
-                    if cycles_max > 0 else 0.0
-                ),
-                "aggregate_throughput": self.aggregate_throughput(),
-                "ecalls": sum(row["window_ecalls"]
-                              for row in per_shard.values()),
-                "cache_hit_ratio": (weighted_hits / total_keys
-                                    if total_keys else 0.0),
-            },
+        # Replica-aware extras: present only when at least one "shard" is a
+        # ReplicaGroup (duck-checked, so plain clusters pay nothing).
+        replicas = 0
+        replicas_down = 0
+        failovers = 0
+        for shard in self._shards:
+            group = getattr(shard, "replicas", None)
+            if group is None:
+                continue
+            replicas += len(group)
+            replicas_down += sum(
+                1 for r in group if r.state.value != "up"
+            )
+            failovers += getattr(shard, "failovers", 0)
+        cluster = {
+            "n_shards": len(self._shards),
+            "keys": total_keys,
+            "window_ops": ops,
+            "cycles_max": cycles_max,
+            "cycles_sum": self.cycles_sum(),
+            "parallel_efficiency": (
+                self.cycles_sum() / (cycles_max * len(self._shards))
+                if cycles_max > 0 else 0.0
+            ),
+            "aggregate_throughput": self.aggregate_throughput(),
+            "ecalls": sum(row["window_ecalls"]
+                          for row in per_shard.values()),
+            "cache_hit_ratio": (weighted_hits / total_keys
+                                if total_keys else 0.0),
         }
+        if replicas:
+            cluster["replicas"] = replicas
+            cluster["replicas_down"] = replicas_down
+            cluster["failovers"] = failovers
+        return {"shards": per_shard, "cluster": cluster}

@@ -62,3 +62,25 @@ class ConfigurationError(AriaError):
 
 class EnclaveViolationError(AriaError):
     """Simulator misuse: untrusted code touched trusted state directly."""
+
+
+class ShardCrashedError(AriaError):
+    """The target enclave has been killed (fault injection / host crash).
+
+    A crash is a *loss of the enclave*, not of untrusted memory: EPC
+    contents and trust anchors are gone, and a restarted enclave comes back
+    empty until it re-syncs from a live replica through the trusted path.
+    """
+
+
+class ReplicaUnavailableError(AriaError):
+    """No live replica could serve the request (the whole group is down)."""
+
+
+class ClusterTimeoutError(AriaError):
+    """A cluster client timed out waiting for the server.
+
+    Raised instead of the raw ``socket.timeout`` so callers can distinguish
+    "the server hung" (retryable for idempotent reads) from protocol or
+    integrity failures (never blindly retryable).
+    """

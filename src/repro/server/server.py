@@ -23,6 +23,7 @@ from repro.server import protocol
 from repro.server.protocol import (
     OP_DELETE,
     OP_GET,
+    OP_HEALTH,
     OP_PUT,
     STATUS_BAD_REQUEST,
     STATUS_INTEGRITY_FAILURE,
@@ -108,6 +109,11 @@ class AriaServer:
 
     def _dispatch(self, request: Request) -> Response:
         try:
+            if request.opcode == OP_HEALTH:
+                # A liveness ping: reaching this line means the enclave is
+                # up.  Never empty-valued BAD_REQUEST, so a one-request
+                # batch can't collide with the whole-batch-rejection shape.
+                return Response(STATUS_OK, b"ok")
             if request.opcode == OP_GET:
                 return Response(STATUS_OK, self._store.get(request.key))
             if request.opcode == OP_PUT:
