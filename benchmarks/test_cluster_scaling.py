@@ -12,7 +12,10 @@ Expected shape (all simulated cycles, never wall-clock):
   >= 20 % of the loss via key-range migration through the trusted path.
 """
 
+import pytest
+
 from repro.bench.experiments import (
+    cluster_process_backend,
     cluster_rebalance,
     cluster_replication,
     cluster_scaling,
@@ -96,3 +99,25 @@ def test_cluster_replication(run_experiment):
 
     for row in (r1, r2):
         assert row["throughput ops/s"] > 0
+
+
+@pytest.mark.procs
+def test_process_backend_speedup(run_experiment):
+    result = run_experiment(cluster_process_backend,
+                            scale=bench_scale(2048), n_ops=2000)
+    (inline,) = result.where(backend="inline")
+    (process,) = result.where(backend="process")
+
+    # (d) The simulation is backend-invariant: same responses byte for
+    # byte, same enclave cycles to the last float — process isolation
+    # changes where the enclave runs, not what it computes or charges.
+    assert inline["responses_sha256"] == process["responses_sha256"]
+    assert inline["cycles_sum"] == process["cycles_sum"]
+    assert inline["throughput ops/s"] == process["throughput ops/s"]
+
+    # Wall-clock is host-dependent and never asserted; surface the ratio
+    # so EXPERIMENTS.md can record what the IPC round-trips cost.
+    ratio = process["wall_s"] / inline["wall_s"]
+    result.note(f"wall-clock process/inline ratio: {ratio:.2f}x "
+                "(informational, host-dependent)")
+    assert inline["wall_s"] > 0 and process["wall_s"] > 0

@@ -13,8 +13,14 @@ asyncio TCP, on a background thread), drives a zipfian workload through
 the synchronous wire client — including a deliberately oversized frame the
 server must reject — and prints the per-shard picture.
 
-Run:  python examples/cluster_client.py
+With ``--backend process`` each shard's enclave runs in its own OS worker
+process behind a message pipe — same wire responses, same simulated
+cycles, real process isolation.
+
+Run:  python examples/cluster_client.py [--backend process]
 """
+
+import sys
 
 from repro.bench.report import format_ops
 from repro.cluster import (
@@ -32,9 +38,9 @@ N_OPS = 2_000
 BATCH = 64
 
 
-def main() -> None:
+def main(backend: str = "inline") -> None:
     coordinator = build_cluster(N_SHARDS, n_keys=N_KEYS, scale=512,
-                                batch_window=32)
+                                batch_window=32, backend=backend)
     coordinator.attach_balancer(
         HotShardBalancer(coordinator, check_every=512)
     )
@@ -45,8 +51,8 @@ def main() -> None:
 
     with BackgroundServer(coordinator) as background:
         host, port = background.server.address
-        print(f"cluster of {N_SHARDS} enclave shards listening on "
-              f"{host}:{port}\n")
+        print(f"cluster of {N_SHARDS} enclave shards "
+              f"({backend} backend) listening on {host}:{port}\n")
 
         with ClusterClient(host, port) as client:
             # A couple of single requests, end to end over the wire.
@@ -75,6 +81,7 @@ def main() -> None:
                       rejection) else "BUG")
 
     report = stats.report()
+    coordinator.close()  # joins process-backend workers; inline no-op
     print(f"\n{'shard':>8} {'keys':>6} {'ops':>6} {'ecalls':>7} "
           f"{'hit ratio':>10}")
     for shard_id in sorted(report["shards"]):
@@ -89,4 +96,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    chosen = "inline"
+    if "--backend" in sys.argv[1:]:
+        chosen = sys.argv[sys.argv.index("--backend") + 1]
+    main(backend=chosen)

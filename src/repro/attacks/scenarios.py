@@ -59,9 +59,17 @@ def corrupt_record_in_place(store: AriaStore, key: bytes) -> None:
     functions this does not drive the victim operation; the cluster fault
     injector uses it to plant corruption that a later, ordinary request
     trips over (surfacing as ``STATUS_INTEGRITY_FAILURE``).
+
+    Accepts a process-backed shard's store proxy as well: the tampering
+    has to happen where the untrusted memory actually lives, so the proxy
+    forwards the call into the worker, which re-enters here with the real
+    store.
     """
     from repro.sgx.meter import MeterPause
 
+    remote = getattr(store, "corrupt_record_in_place", None)
+    if remote is not None:
+        return remote(key)
     with MeterPause(store.enclave.meter):
         entry_addr = _entry_addr(store, key)
     attacker = UntrustedAttacker(store.enclave.untrusted)

@@ -1035,6 +1035,69 @@ def cluster_replication(scale: int = 2048, n_ops: int = 2000,
     return result
 
 
+def cluster_process_backend(scale: int = 2048, n_ops: int = 2000,
+                            n_shards: int = 2,
+                            batch_window: int = 32) -> ExperimentResult:
+    """Backend equivalence: inline vs real-OS-process shard workers.
+
+    Runs the *same* seeded RD90 stream through ``build_cluster`` twice —
+    once with every shard enclave inline in this process, once with each
+    one in its own OS worker behind a message pipe — and records, per
+    backend: simulated throughput, total enclave cycles, and a digest of
+    every wire response.  The simulated columns must be *identical*
+    (the pipe carries absolute meter snapshots, so there is no float
+    drift); only ``wall_s`` — real host seconds, reported but never
+    asserted against the simulation — may differ, and the ratio shows
+    what the IPC round-trips cost the host.
+    """
+    import hashlib
+    import time
+
+    from repro.cluster import build_cluster
+    from repro.server.protocol import encode_batch_responses
+
+    result = ExperimentResult(
+        exp_id="Cluster 4",
+        title="Shard backend equivalence: inline vs OS-process workers "
+              "(uniform RD90, 16B)",
+        columns=["backend", "throughput ops/s", "cycles_sum",
+                 "responses_sha256", "wall_s"],
+    )
+    n_keys = scaled_keys(scale)
+    workload = YcsbWorkload(n_keys=n_keys, read_ratio=0.9, value_size=16,
+                            distribution="uniform")
+    # One materialized stream for both backends: ``operations()`` advances
+    # the workload RNG, and equivalence demands the *same* requests.
+    requests = _as_requests(workload.operations(n_ops))
+    for backend in ("inline", "process"):
+        coordinator = build_cluster(n_shards, n_keys=n_keys, scale=scale,
+                                    batch_window=batch_window,
+                                    backend=backend)
+        try:
+            coordinator.load(workload.load_items())
+            stats = coordinator.stats()
+            digest = hashlib.sha256()
+            started = time.perf_counter()
+            for start in range(0, len(requests), 256):
+                responses = coordinator.execute(requests[start:start + 256])
+                digest.update(encode_batch_responses(responses))
+            wall = time.perf_counter() - started
+            report = stats.report()["cluster"]
+            result.add_row(
+                backend=backend,
+                **{"throughput ops/s": report["aggregate_throughput"]},
+                cycles_sum=round(report["cycles_sum"], 1),
+                responses_sha256=digest.hexdigest()[:16],
+                wall_s=round(wall, 3),
+            )
+        finally:
+            coordinator.close()
+    result.note(f"scale 1/{scale}: {n_keys} keys, {n_shards} shards, "
+                f"batch window {batch_window}; simulated columns must "
+                "match exactly across backends, wall_s is host time")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table1": table1_comparison,
     "fig2": fig2_motivation,
@@ -1056,4 +1119,5 @@ ALL_EXPERIMENTS = {
     "cluster_scaling": cluster_scaling,
     "cluster_rebalance": cluster_rebalance,
     "cluster_replication": cluster_replication,
+    "cluster_process_backend": cluster_process_backend,
 }

@@ -197,6 +197,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         vnodes=args.vnodes,
         batch_window=args.batch_window,
         seed=args.seed,
+        backend=args.backend,
     )
     if args.balance:
         coordinator.attach_balancer(HotShardBalancer(coordinator))
@@ -206,7 +207,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def run() -> None:
         host, port = await server.start()
         print(f"cluster listening on {host}:{port} "
-              f"({args.shards} shards, balancer "
+              f"({args.shards} shards, backend {args.backend}, balancer "
               f"{'on' if args.balance else 'off'})")
         for shard in coordinator.shard_list():
             print(f"  {shard.shard_id}: EPC {shard.epc_bytes:,} B, "
@@ -220,14 +221,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
-    report = coordinator.stats().report()["shards"]
-    print(f"served {server.requests_served} requests "
-          f"in {server.frames_served} frames")
-    for shard_id in sorted(report):
-        row = report[shard_id]
-        print(f"  {shard_id}: {row['keys']} keys, "
-              f"{row['ops_executed']} ops, "
-              f"hit ratio {row['cache_hit_ratio']:.1%}")
+    try:
+        report = coordinator.stats().report()["shards"]
+        print(f"served {server.requests_served} requests "
+              f"in {server.frames_served} frames")
+        for shard_id in sorted(report):
+            row = report[shard_id]
+            print(f"  {shard_id}: {row['keys']} keys, "
+                  f"{row['ops_executed']} ops, "
+                  f"hit ratio {row['cache_hit_ratio']:.1%}")
+    finally:
+        # Joins/terminates process-backed shard workers; inline no-op.
+        coordinator.close()
     return 0
 
 
@@ -280,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--vnodes", type=int, default=128)
     serve.add_argument("--batch-window", type=int, default=32)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--backend", default="inline",
+                       choices=["inline", "process"],
+                       help="where shard enclaves run: in this process "
+                            "(inline) or one OS process each (process)")
     serve.add_argument("--no-balance", dest="balance", action="store_false",
                        help="disable the hot-shard balancer")
     serve.add_argument("--max-requests", type=int, default=None,

@@ -5,6 +5,10 @@ routed cluster — the ROADMAP's "sharding, batching, async" axis and the
 paper's Fig 16a multi-enclave split generalized to N shards behind one
 front door:
 
+* :mod:`~repro.cluster.backend` — the ``ShardBackend`` seam: who hosts a
+  shard's enclave (``inline`` in-process, or ``process`` workers);
+* :mod:`~repro.cluster.procbackend` — the process backend: one OS worker
+  per enclave behind a message pipe, real kills, real parallelism;
 * :mod:`~repro.cluster.ring` — consistent-hash routing (virtual nodes);
 * :mod:`~repro.cluster.shard` — one enclave + Aria store per shard, EPC
   carved from a cluster-wide budget;
@@ -23,6 +27,14 @@ front door:
   trusted-path re-sync.
 """
 
+from repro.cluster.backend import (
+    BACKEND_NAMES,
+    InlineBackend,
+    ShardBackend,
+    default_backend_name,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.cluster.balancer import HotShardBalancer, MigrationReport
 from repro.cluster.coordinator import (
     ClusterCoordinator,
@@ -45,6 +57,11 @@ from repro.cluster.health import (
     HealthMonitor,
     ResyncReport,
 )
+from repro.cluster.procbackend import (
+    ProcessBackend,
+    ProcessShard,
+    reap_leaked_workers,
+)
 from repro.cluster.netserver import (
     BackgroundServer,
     ClusterClient,
@@ -65,6 +82,7 @@ from repro.cluster.shard import Shard, build_shards
 from repro.cluster.stats import ClusterStats
 
 __all__ = [
+    "BACKEND_NAMES",
     "BackgroundServer",
     "CLOSE",
     "CORRUPT",
@@ -86,17 +104,25 @@ __all__ = [
     "HashRing",
     "HealthMonitor",
     "HotShardBalancer",
+    "InlineBackend",
     "KILL",
     "MigrationReport",
     "NET_TARGET",
+    "ProcessBackend",
+    "ProcessShard",
     "Replica",
     "ReplicaGroup",
     "ReplicaState",
     "ResyncReport",
     "Shard",
+    "ShardBackend",
     "build_cluster",
     "build_replica_group",
     "build_replicated_cluster",
     "build_shards",
+    "default_backend_name",
+    "reap_leaked_workers",
+    "resolve_backend",
     "ring_hash",
+    "set_default_backend",
 ]

@@ -1,0 +1,148 @@
+"""The ``ShardBackend`` seam: who actually hosts a shard's enclave.
+
+Everything above a shard — :class:`~repro.cluster.coordinator
+.ClusterCoordinator`, :class:`~repro.cluster.replication.ReplicaGroup`,
+:class:`~repro.cluster.faults.FaultyShard`, the balancer, health monitor
+and stats — talks to an implicit duck-typed contract (``shard_id``,
+``store``, ``server.flush_batch``, ``meter``, balancer marks, ``stats``).
+This module makes that contract an explicit factory interface with two
+interchangeable implementations:
+
+* :class:`InlineBackend` — the original behaviour: the enclave simulation
+  lives in the caller's process (zero-copy, deterministic, the default
+  for tests and single-machine benchmarks);
+* :class:`~repro.cluster.procbackend.ProcessBackend` — each shard/replica
+  enclave runs in its own ``multiprocessing`` worker behind a message
+  pipe; batch requests, key-migration and re-sync traffic serialize over
+  it, so the untrusted front-end work genuinely parallelizes across
+  cores and a ``kill`` is a real ``SIGKILL``.
+
+Backends are *factories*: they build shard handles but never route
+requests, so the coordinator stays backend-agnostic.  Metering is
+backend-invariant by construction — the same enclave code runs either
+way, only the transport differs — which is what lets the equivalence
+tests assert byte-identical responses and identical simulated cycles.
+
+Selection order for :func:`resolve_backend`: an explicit argument (name
+or instance) beats the process-wide default set by
+:func:`set_default_backend` (how the test suite parametrizes existing
+cluster tests over both backends), which beats the
+``ARIA_CLUSTER_BACKEND`` environment variable, which beats ``inline``.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Optional, Union
+
+#: Environment override consulted when no explicit/default backend is set.
+BACKEND_ENV_VAR = "ARIA_CLUSTER_BACKEND"
+
+BACKEND_NAMES = ("inline", "process")
+
+
+class ShardBackend(abc.ABC):
+    """Factory for shard handles satisfying the Shard duck-type contract."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def create(
+        self,
+        shard_id: str,
+        *,
+        epc_bytes: int,
+        capacity_keys: int,
+        index: str = "hash",
+        seed: int = 0,
+        value_hint: int = 16,
+        **config_overrides,
+    ):
+        """Build one shard (enclave + store + server) and return its handle."""
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Release whatever the backend holds (worker processes, pipes)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class InlineBackend(ShardBackend):
+    """Shards in the caller's process — the original zero-copy behaviour."""
+
+    name = "inline"
+
+    def create(
+        self,
+        shard_id: str,
+        *,
+        epc_bytes: int,
+        capacity_keys: int,
+        index: str = "hash",
+        seed: int = 0,
+        value_hint: int = 16,
+        **config_overrides,
+    ):
+        from repro.cluster.shard import Shard
+
+        return Shard(
+            shard_id,
+            epc_bytes=epc_bytes,
+            capacity_keys=capacity_keys,
+            index=index,
+            seed=seed,
+            value_hint=value_hint,
+            **config_overrides,
+        )
+
+
+BackendSpec = Union[None, str, ShardBackend]
+
+_default_backend: BackendSpec = None
+
+
+def set_default_backend(backend: BackendSpec) -> BackendSpec:
+    """Set the process-wide default backend; returns the previous value.
+
+    Accepts a backend name, an instance (shared by every cluster built
+    while it is current — its workers are released by ``backend.close()``),
+    or ``None`` to fall back to the environment/``inline``.
+    """
+    global _default_backend
+    previous = _default_backend
+    if isinstance(backend, str):
+        _check_name(backend)
+    _default_backend = backend
+    return previous
+
+
+def default_backend_name() -> str:
+    """The name the *next* ``resolve_backend(None)`` call would use."""
+    backend = _default_backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "inline"
+    return backend if isinstance(backend, str) else backend.name
+
+
+def resolve_backend(backend: BackendSpec = None) -> ShardBackend:
+    """Turn a backend name/instance/None into a ready :class:`ShardBackend`."""
+    if backend is None:
+        backend = _default_backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "inline"
+    if isinstance(backend, ShardBackend):
+        return backend
+    _check_name(backend)
+    if backend == "inline":
+        return InlineBackend()
+    from repro.cluster.procbackend import ProcessBackend
+
+    return ProcessBackend()
+
+
+def _check_name(name: str) -> None:
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown shard backend {name!r}; choose from {BACKEND_NAMES}"
+        )

@@ -22,6 +22,7 @@ import json
 from typing import Dict, Iterable, List, Optional
 
 from repro.bench.harness import PAPER_EPC_BYTES
+from repro.cluster.backend import BackendSpec
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, VnodeSpec
 from repro.cluster.shard import Shard, build_shards
 from repro.cluster.stats import ClusterStats
@@ -43,6 +44,27 @@ from repro.server.protocol import (
 )
 
 DEFAULT_BATCH_WINDOW = 32
+
+
+class _Flight:
+    """One dispatched shard flush awaiting collection.
+
+    Inline (synchronous) servers execute at dispatch and carry their
+    result; process-backed servers carry a ticket, so independent shards'
+    batches run concurrently in their workers and are collected after
+    the whole stream has been dispatched.
+    """
+
+    __slots__ = ("shard_id", "seqs", "flushed", "error", "ticket", "server")
+
+    def __init__(self, shard_id, seqs, *, flushed=None, error=None,
+                 ticket=None, server=None):
+        self.shard_id = shard_id
+        self.seqs = seqs
+        self.flushed = flushed
+        self.error = error
+        self.ticket = ticket
+        self.server = server
 
 
 class ClusterCoordinator:
@@ -97,11 +119,15 @@ class ClusterCoordinator:
         Buffers per shard and flushes a shard the moment its buffer fills,
         so a stream larger than ``batch_window * n_shards`` stays at a
         bounded memory footprint instead of materializing per-shard
-        sub-streams.
+        sub-streams.  Inline shards execute at dispatch; process-backed
+        shards execute in their workers while dispatch continues, and
+        their responses are collected afterwards — either way a shard's
+        batches run in dispatch order, preserving per-key ordering.
         """
         requests = list(requests)
         responses: List[Optional[Response]] = [None] * len(requests)
         pending: Dict[str, List[int]] = {sid: [] for sid in self.shards}
+        inflight: List[_Flight] = []
         for seq, request in enumerate(requests):
             if request.opcode == OP_HEALTH:
                 # Answered at the front door, never routed to an enclave.
@@ -111,11 +137,13 @@ class ClusterCoordinator:
             bucket = pending[shard_id]
             bucket.append(seq)
             if len(bucket) >= self.batch_window:
-                self._flush(shard_id, bucket, requests, responses)
+                inflight.append(self._dispatch(shard_id, bucket, requests))
                 pending[shard_id] = []
         for shard_id, bucket in pending.items():
             if bucket:
-                self._flush(shard_id, bucket, requests, responses)
+                inflight.append(self._dispatch(shard_id, bucket, requests))
+        for flight in inflight:
+            self._collect(flight, responses)
         self.ops_routed += len(requests)
         if self._balancer is not None:
             self._balancer.observe(len(requests))
@@ -123,26 +151,44 @@ class ClusterCoordinator:
             self._health_monitor.observe(len(requests))
         return responses  # type: ignore[return-value]  # all slots filled
 
-    def _flush(self, shard_id: str, seqs: List[int],
-               requests: List[Request],
-               responses: List[Optional[Response]]) -> None:
-        """One shard flush; a failing shard costs error responses, not the
-        batch: every request it owned gets ``STATUS_UNAVAILABLE`` and the
-        other shards' response slots are untouched."""
+    def _dispatch(self, shard_id: str, seqs: List[int],
+                  requests: List[Request]) -> _Flight:
+        """Hand one shard its batch; pipelined when the server supports it."""
         shard = self.shards[shard_id]
         shard.ops_routed += len(seqs)
+        batch = [requests[s] for s in seqs]
+        submit = getattr(shard.server, "flush_submit", None)
         try:
-            flushed = shard.server.flush_batch(requests[s] for s in seqs)
+            if submit is None:
+                return _Flight(shard_id, seqs,
+                               flushed=list(shard.server.flush_batch(batch)))
+            return _Flight(shard_id, seqs, ticket=submit(batch),
+                           server=shard.server)
         except AriaError as exc:
+            return _Flight(shard_id, seqs, error=exc)
+
+    def _collect(self, flight: _Flight,
+                 responses: List[Optional[Response]]) -> None:
+        """Settle one flight; a failing shard costs error responses, not
+        the batch: every request it owned gets ``STATUS_UNAVAILABLE`` and
+        the other shards' response slots are untouched."""
+        flushed = flight.flushed
+        if flight.error is None and flushed is None:
+            try:
+                flushed = flight.server.flush_collect(flight.ticket)
+            except AriaError as exc:
+                flight.error = exc
+        if flight.error is not None:
             self.flush_failures += 1
             error = Response(
                 STATUS_UNAVAILABLE,
-                f"shard {shard_id} failed: {type(exc).__name__}".encode(),
+                f"shard {flight.shard_id} failed: "
+                f"{type(flight.error).__name__}".encode(),
             )
-            for seq in seqs:
+            for seq in flight.seqs:
                 responses[seq] = error
             return
-        for seq, response in zip(seqs, flushed):
+        for seq, response in zip(flight.seqs, flushed):
             responses[seq] = response
 
     # -- convenience single-request API (one ECALL each, like AriaClient) --------
@@ -239,6 +285,21 @@ class ClusterCoordinator:
         """A fresh delta window over every shard (see ClusterStats)."""
         return ClusterStats(self.shard_list())
 
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Release every shard's backing resources.
+
+        Inline shards are a no-op; process-backed shards get a graceful
+        shutdown (join → terminate → kill, each bounded by ``timeout``),
+        so callers — and pytest runs — never leak worker processes.
+        Idempotent; the coordinator must not be used afterwards.
+        """
+        for shard in self.shard_list():
+            close = getattr(shard, "close", None)
+            if close is not None:
+                close(timeout)
+
 
 def build_cluster(
     n_shards: int,
@@ -250,6 +311,7 @@ def build_cluster(
     vnodes: VnodeSpec = DEFAULT_VNODES,
     batch_window: int = DEFAULT_BATCH_WINDOW,
     seed: int = 0,
+    backend: BackendSpec = None,
     **shard_overrides,
 ) -> ClusterCoordinator:
     """One-call cluster: N shards splitting one EPC budget, plus a ring.
@@ -258,6 +320,9 @@ def build_cluster(
     ``scaled_platform`` (the keyspace is the caller's to scale), so
     ``build_cluster(4, n_keys=10_000, scale=1024)`` is the Fig 16a
     4-tenant operating point generalized to a routed cluster.
+    ``backend`` selects ``"inline"`` or ``"process"`` shard hosting (see
+    :mod:`repro.cluster.backend`); process clusters should be released
+    with :meth:`ClusterCoordinator.close`.
     """
     shards = build_shards(
         n_shards,
@@ -265,6 +330,7 @@ def build_cluster(
         n_keys=n_keys,
         index=index,
         seed=seed,
+        backend=backend,
         **shard_overrides,
     )
     return ClusterCoordinator(shards, vnodes=vnodes,

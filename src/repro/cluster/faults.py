@@ -165,6 +165,32 @@ class FaultPlan:
         return cls(events)
 
 
+def plant_corruption(store, key: bytes = b"") -> bool:
+    """Flip a ciphertext bit of one record in ``store``'s untrusted memory.
+
+    The whole plant — victim selection (unmetered: it is the attacker's
+    work) plus the bit flip — runs against the *real* store, so it must
+    execute wherever the enclave lives: inline shards call it directly,
+    process-backed shards run it inside the worker via the
+    ``plant_corruption`` RPC.  Returns whether a corruption landed (an
+    empty store, a vanished key, or a previously-tripped alarm all mean
+    there was nothing to tamper with).
+    """
+    from repro.attacks.scenarios import corrupt_record_in_place
+    from repro.errors import AriaError
+    from repro.sgx.meter import MeterPause
+
+    if len(store) == 0:
+        return False
+    try:
+        with MeterPause(store.enclave.meter):
+            victim = key or next(iter(store.keys()))
+        corrupt_record_in_place(store, victim)
+    except AriaError:
+        return False
+    return True
+
+
 class _FaultyServer:
     """The request-path interposer: counts flushes, fires due faults."""
 
@@ -221,8 +247,16 @@ class FaultyShard:
             raise ValueError(f"shard cannot apply fault {event.kind!r}")
 
     def kill(self) -> None:
-        """Kill the enclave: every later touch raises ShardCrashedError."""
+        """Kill the enclave: every later touch raises ShardCrashedError.
+
+        On a process-backed shard this is a real ``SIGKILL`` of the
+        worker — the enclave, its keys and its EPC contents die with the
+        OS process, not as a flag in the parent.
+        """
         self.crashed = True
+        kill = getattr(self.inner, "kill", None)
+        if kill is not None:
+            kill()
 
     def corrupt(self, key: bytes = b"") -> None:
         """Flip a ciphertext bit of one record in untrusted memory.
@@ -230,24 +264,19 @@ class FaultyShard:
         With no explicit ``key``, the first key the index yields is hit —
         deterministic for a given store history.  A corrupt on an empty
         (or crashed) shard is a no-op: there is nothing to tamper with.
+        The plant runs wherever the enclave lives (see
+        :func:`plant_corruption`), so inline and process shards meter the
+        attacker's walk identically.
         """
-        from repro.attacks.scenarios import corrupt_record_in_place
-        from repro.errors import AriaError
-        from repro.sgx.meter import MeterPause
-
-        if self.crashed or len(self.inner.store) == 0:
+        if self.crashed:
             return
-        try:
-            # Victim selection is the attacker's work (and walks verified
-            # records), so it runs unmetered.
-            with MeterPause(self.inner.store.enclave.meter):
-                victim = key or next(iter(self.inner.store.keys()))
-            corrupt_record_in_place(self.inner.store, victim)
-        except AriaError:
-            # Locating a record tripped an alarm (a prior corruption on
-            # this replica) or the key is gone: nothing further to plant.
-            return
-        self.corruptions += 1
+        remote = getattr(self.inner, "plant_corruption", None)
+        if remote is not None:
+            planted = remote(key)
+        else:
+            planted = plant_corruption(self.inner.store, key)
+        if planted:
+            self.corruptions += 1
 
     def restart(self):
         """Replace the dead enclave with a fresh, *empty* one.
@@ -265,9 +294,13 @@ class FaultyShard:
             raise ShardCrashedError(
                 f"shard {self.shard_id} has no rebuild recipe"
             )
+        old = self.inner
         self.inner = self._rebuild()
         self.crashed = False
         self.restarts += 1
+        close = getattr(old, "close", None)
+        if close is not None:
+            close()  # reap the dead worker's process entry and pipe
         return self.inner
 
     # -- Shard duck-typing --------------------------------------------------------
@@ -315,6 +348,11 @@ class FaultyShard:
         row["crashed"] = self.crashed
         row["restarts"] = self.restarts
         return row
+
+    def close(self, timeout: float = 5.0) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close(timeout)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "down" if self.crashed else "up"

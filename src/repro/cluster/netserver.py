@@ -125,6 +125,21 @@ class ClusterNetServer:
         if self._stop_event is not None:
             self._stop_event.set()
 
+    async def close(self, timeout: float = 5.0) -> None:
+        """Full shutdown: drain and stop serving, then release the shards.
+
+        :meth:`stop` already guarantees no frame is mid-execution when it
+        returns (request handling is synchronous within a connection
+        task), so by the time the coordinator is closed every in-flight
+        batch has been answered.  Closing the coordinator joins/terminates
+        any process-backed shard workers with ``timeout`` bounding each
+        escalation step — after this, the process tree is clean.
+        """
+        await self.stop()
+        close = getattr(self._coordinator, "close", None)
+        if close is not None:
+            close(timeout)
+
     def _limit_reached(self) -> bool:
         return (self.max_requests is not None
                 and self.frames_served >= self.max_requests)
@@ -410,6 +425,19 @@ class BackgroundServer:
                 self.server.stop(), self._loop
             ).result(timeout)
         self._thread.join(timeout)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop serving *and* release the coordinator's shard backends.
+
+        :meth:`stop` leaves the coordinator usable (the caller may still
+        want to read stats or keep serving it elsewhere); ``close`` is
+        the end of the road — it also joins/terminates any process-backed
+        shard workers so nothing outlives the test or script.
+        """
+        self.stop(timeout)
+        close = getattr(self.server.coordinator, "close", None)
+        if close is not None:
+            close(min(timeout, 5.0))
 
     def __enter__(self) -> "BackgroundServer":
         self.start()

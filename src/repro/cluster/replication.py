@@ -41,13 +41,14 @@ import enum
 from typing import Callable, List, Optional
 
 from repro.bench.harness import PAPER_EPC_BYTES
+from repro.cluster.backend import BackendSpec, resolve_backend
 from repro.cluster.coordinator import (
     ClusterCoordinator,
     DEFAULT_BATCH_WINDOW,
 )
 from repro.cluster.faults import FaultPlan, FaultyShard
 from repro.cluster.ring import DEFAULT_VNODES, VnodeSpec
-from repro.cluster.shard import MIN_SHARD_EPC_BYTES, Shard
+from repro.cluster.shard import MIN_SHARD_EPC_BYTES
 from repro.errors import (
     IntegrityError,
     KeyNotFoundError,
@@ -61,7 +62,7 @@ from repro.server.protocol import (
     Request,
     Response,
 )
-from repro.sgx.meter import MeterSnapshot
+from repro.sgx.meter import CycleMeter, MeterSnapshot
 
 DEFAULT_REPLICATION = 2
 
@@ -249,6 +250,13 @@ class ReplicaGroup:
         for replica in self.replicas:
             replica.shard.mark_load()
 
+    def close(self, timeout: float = 5.0) -> None:
+        """Release every replica's backing resources (see Shard.close)."""
+        for replica in self.replicas:
+            close = getattr(replica.shard, "close", None)
+            if close is not None:
+                close(timeout)
+
     def stats(self) -> dict:
         primary = self._first_live() or self.replicas[0]
         row = primary.shard.stats()
@@ -398,14 +406,17 @@ class _GroupMeter:
 
     @property
     def events(self):
-        total = None
-        for meter in self._meters():
-            counter = meter.events
-            total = counter.copy() if total is None else total + counter
-        return total
+        return self.snapshot().events
 
     def snapshot(self) -> MeterSnapshot:
-        return MeterSnapshot(cycles=self.cycles, events=self.events)
+        # One snapshot per replica (a single RPC each for process-backed
+        # shards), merged via the meter's own serialization-friendly path.
+        snaps = [m.snapshot() for m in self._meters()]
+        merged = CycleMeter()
+        for snap in snaps:
+            merged.merge(snap)
+        return MeterSnapshot(cycles=max(s.cycles for s in snaps),
+                             events=merged.events)
 
 
 # -- construction ---------------------------------------------------------------
@@ -421,6 +432,7 @@ def build_replica_group(
     seed: int = 0,
     value_hint: int = 16,
     fault_plan: Optional[FaultPlan] = None,
+    backend: BackendSpec = None,
     **config_overrides,
 ) -> ReplicaGroup:
     """R independent enclaves for one partition, each with its own keys.
@@ -429,20 +441,25 @@ def build_replica_group(
     Every replica gets a distinct seed, hence distinct
     :class:`~repro.crypto.keys.KeyMaterial`; a restart mints yet another
     seed, because a fresh enclave never inherits its predecessor's keys.
+    Both initial construction and restarts go through the shard
+    ``backend``, so a restarted process-backed replica is a genuinely new
+    OS process; the seed policy is backend-independent, keeping key
+    material and metering identical across backends.
     """
     if replication < 1:
         raise ValueError("replication factor must be >= 1")
+    factory = resolve_backend(backend)
     shards = []
     for j in range(replication):
         replica_id = f"{group_id}/r{j}"
         replica_seed = seed + 17 * j + 1
 
-        def make_rebuild(rid: str, base_seed: int) -> Callable[[], Shard]:
+        def make_rebuild(rid: str, base_seed: int) -> Callable[[], object]:
             incarnation = {"n": 0}
 
-            def rebuild() -> Shard:
+            def rebuild():
                 incarnation["n"] += 1
-                return Shard(
+                return factory.create(
                     rid,
                     epc_bytes=epc_bytes,
                     capacity_keys=capacity_keys,
@@ -455,7 +472,7 @@ def build_replica_group(
             return rebuild
 
         rebuild = make_rebuild(replica_id, replica_seed)
-        shard = Shard(
+        shard = factory.create(
             replica_id,
             epc_bytes=epc_bytes,
             capacity_keys=capacity_keys,
@@ -480,6 +497,7 @@ def build_replicated_cluster(
     batch_window: int = DEFAULT_BATCH_WINDOW,
     seed: int = 0,
     fault_plan: Optional[FaultPlan] = None,
+    backend: BackendSpec = None,
     **shard_overrides,
 ) -> ClusterCoordinator:
     """A cluster of N partitions × R replica enclaves behind one ring.
@@ -492,6 +510,7 @@ def build_replicated_cluster(
     total_enclaves = n_shards * replication
     per_enclave = max(MIN_SHARD_EPC_BYTES,
                       cluster_epc_bytes // scale // total_enclaves)
+    factory = resolve_backend(backend)
     groups = [
         build_replica_group(
             f"shard-{i}",
@@ -501,6 +520,7 @@ def build_replicated_cluster(
             index=index,
             seed=seed + 101 * i,
             fault_plan=fault_plan,
+            backend=factory,
             **shard_overrides,
         )
         for i in range(n_shards)

@@ -15,9 +15,10 @@ detection can work on windowed deltas rather than lifetime totals.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.bench.harness import build_aria
+from repro.cluster.backend import BackendSpec, resolve_backend
 from repro.server.server import AriaServer
 from repro.sgx.costs import SgxPlatform
 
@@ -97,6 +98,9 @@ class Shard:
             "epc_used": self.store.enclave.epc.used,
         }
 
+    def close(self, timeout: float = 5.0) -> None:
+        """Inline shards hold no external resources; process handles do."""
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Shard({self.shard_id!r}, keys={len(self.store)}, "
                 f"epc={self.epc_bytes})")
@@ -111,20 +115,27 @@ def build_shards(
     seed: int = 0,
     value_hint: int = 16,
     id_prefix: str = "shard",
+    backend: BackendSpec = None,
     **config_overrides,
-) -> List[Shard]:
+) -> List:
     """Carve ``cluster_epc_bytes`` evenly into ``n_shards`` enclaves.
 
     ``n_keys`` is the *cluster-wide* keyspace.  Every shard gets 1/N of
     the EPC but is provisioned (counters, buckets) for the whole keyspace
     — exactly how the paper's Fig 16a sizes each tenant for its full
     working set while the EPC is split k ways.
+
+    ``backend`` picks who hosts each enclave (see
+    :mod:`repro.cluster.backend`): ``"inline"`` returns plain
+    :class:`Shard` objects; ``"process"`` returns handles to per-shard
+    worker processes satisfying the same contract.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be positive")
+    factory = resolve_backend(backend)
     per_shard_epc = cluster_epc_bytes // n_shards
     return [
-        Shard(
+        factory.create(
             f"{id_prefix}-{i}",
             epc_bytes=per_shard_epc,
             capacity_keys=n_keys,

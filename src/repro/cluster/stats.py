@@ -16,6 +16,12 @@ measures.
 :class:`ClusterStats` works on deltas: it snapshots every shard's meter at
 construction (and at :meth:`rebaseline`), so load/warmup phases are
 excluded the same way the single-store harness excludes them.
+
+Aggregation only ever calls ``meter.snapshot()``, so a shard's ``meter``
+may be a live :class:`~repro.sgx.meter.CycleMeter`, a process-backed
+shard's mirror, or a frozen :class:`~repro.sgx.meter.MeterSnapshot`
+(whose ``snapshot()`` is itself) — snapshots and live meters are
+interchangeable, which is what lets metering cross process boundaries.
 """
 
 from __future__ import annotations

@@ -24,6 +24,23 @@ class MeterSnapshot:
         events.subtract(self.events)
         return MeterSnapshot(cycles=later.cycles - self.cycles, events=events)
 
+    def snapshot(self) -> "MeterSnapshot":
+        """A snapshot of a snapshot is itself.
+
+        Lets aggregation code (``ClusterStats``, replica-group meters) accept
+        a live ``CycleMeter`` and a frozen ``MeterSnapshot`` interchangeably.
+        """
+        return self
+
+    def to_dict(self) -> dict:
+        """A plain-builtins form that survives pickling and JSON round-trips."""
+        return {"cycles": self.cycles, "events": dict(self.events)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MeterSnapshot":
+        return cls(cycles=float(payload["cycles"]),
+                   events=Counter(payload["events"]))
+
 
 @dataclass
 class CycleMeter:
@@ -59,6 +76,18 @@ class CycleMeter:
 
     def snapshot(self) -> MeterSnapshot:
         return MeterSnapshot(cycles=self.cycles, events=Counter(self.events))
+
+    def merge(self, other: "CycleMeter | MeterSnapshot") -> "CycleMeter":
+        """Fold another meter's accumulated charges into this one.
+
+        Used to aggregate per-enclave accounting that crossed a process
+        boundary as a :class:`MeterSnapshot` (and by replica groups that sum
+        event counters across copies).  Respects ``enabled`` deliberately
+        *not* at all: merging is bookkeeping, not a metered operation.
+        """
+        self.cycles += other.cycles
+        self.events.update(other.events)
+        return self
 
     def reset(self) -> None:
         self.cycles = 0.0

@@ -1,0 +1,65 @@
+"""Shared test plumbing: run the cluster suites against both shard backends.
+
+The cluster, replication, fault, and netserver suites were written against
+the duck-typed shard contract — they never ask *where* a shard's enclave
+runs.  ``pytest_generate_tests`` below re-runs every test in those modules
+twice: once with the default ``inline`` backend and once with the
+``process`` backend (real OS workers, marked ``procs``).  The test bodies
+are unmodified; only the process-wide default backend changes.
+
+The ``cluster_backend`` fixture is inserted at the *front* of each test's
+fixture list so it is set up before (and torn down after) the module's own
+``cluster``/``server`` fixtures — the default backend is already switched
+by the time ``build_cluster`` runs, and worker reaping happens after every
+other fixture has finished.  Existing tests never close their clusters
+(inline shards have nothing to release), so the teardown *reaps* leaked
+workers rather than failing on them — and then asserts that reaping
+actually worked: no stray child processes may survive a test.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.cluster import reap_leaked_workers, set_default_backend
+
+# Modules whose tests exercise the cluster layer through the shard
+# contract.  Only these are parametrized; the single-store suites would
+# gain nothing from a second run.
+_BACKEND_MODULES = {
+    "test_cluster",
+    "test_cluster_faults",
+    "test_cluster_replication",
+    "test_netserver",
+}
+
+_BACKEND_PARAMS = [
+    pytest.param("inline"),
+    pytest.param("process", marks=pytest.mark.procs),
+]
+
+
+def pytest_generate_tests(metafunc):
+    module = metafunc.module.__name__.rpartition(".")[2]
+    if module not in _BACKEND_MODULES:
+        return
+    if "cluster_backend" not in metafunc.fixturenames:
+        metafunc.fixturenames.insert(0, "cluster_backend")
+    metafunc.parametrize("cluster_backend", _BACKEND_PARAMS, indirect=True)
+
+
+@pytest.fixture()
+def cluster_backend(request):
+    """Switch the process-wide default backend for one test, then clean up."""
+    name = getattr(request, "param", "inline")
+    previous = set_default_backend(name)
+    try:
+        yield name
+    finally:
+        set_default_backend(previous)
+        leaked = reap_leaked_workers()
+        strays = multiprocessing.active_children()
+        assert not strays, (
+            f"worker processes survived reaping: {strays} "
+            f"(reaped handles for shards {leaked})"
+        )

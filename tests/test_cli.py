@@ -75,6 +75,35 @@ def test_serve_binds_and_exits_at_request_limit(capsys):
     assert "served 0 requests" in out
 
 
+def test_serve_banner_names_backend(capsys):
+    code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
+                 "--scale", "2048", "--max-requests", "0"])
+    assert code == 0
+    assert "backend inline" in capsys.readouterr().out
+
+
+@pytest.mark.procs
+def test_serve_process_backend_full_lifecycle(capsys):
+    # Boot real worker processes behind the asyncio server, serve nothing,
+    # and shut down cleanly — workers must be joined, not leaked.
+    code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
+                 "--scale", "2048", "--max-requests", "0",
+                 "--backend", "process"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "backend process" in out
+    assert "shard-0" in out and "shard-1" in out
+    assert "served 0 requests" in out
+    import multiprocessing
+
+    assert multiprocessing.active_children() == []
+
+
+def test_serve_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["serve", "--backend", "threads"])
+
+
 def test_serve_balancer_flag(capsys):
     code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
                  "--scale", "2048", "--max-requests", "0", "--no-balance"])

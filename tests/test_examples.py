@@ -64,6 +64,21 @@ def test_cluster_client_example_runs(capsys):
     assert "aggregate" in out
 
 
+@pytest.mark.procs
+def test_cluster_client_example_runs_on_process_backend(capsys):
+    module = load_example("cluster_client.py")
+    module.N_KEYS = 800
+    module.N_OPS = 400
+    module.main(backend="process")
+    out = capsys.readouterr().out
+    assert "process backend" in out
+    assert "rejected as a unit" in out
+    assert "aggregate" in out
+    import multiprocessing
+
+    assert multiprocessing.active_children() == []
+
+
 def test_reproduce_paper_rejects_unknown(capsys):
     module = load_example("reproduce_paper.py")
     assert module.main(["not-a-figure"]) == 1
