@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     cluster_rebalance,
     cluster_replication,
     cluster_scaling,
+    cluster_wire_overhead,
 )
 
 from conftest import bench_scale
@@ -121,3 +122,44 @@ def test_process_backend_speedup(run_experiment):
     result.note(f"wall-clock process/inline ratio: {ratio:.2f}x "
                 "(informational, host-dependent)")
     assert inline["wall_s"] > 0 and process["wall_s"] > 0
+
+
+@pytest.mark.wire
+def test_cluster_wire_overhead(run_experiment):
+    result = run_experiment(cluster_wire_overhead, scale=bench_scale(2048),
+                            n_ops=2000)
+
+    for backend in ("inline", "process"):
+        for replication in (1, 2):
+            (v1,) = result.where(backend=backend, R=replication, wire="v1")
+            (v2,) = result.where(backend=backend, R=replication, wire="v2")
+
+            # (e) Encryption terminates at the gateway: the shards' own
+            # enclave work is byte-for-byte what the plaintext run charged.
+            assert v1["shard_cycles_per_op"] == v2["shard_cycles_per_op"]
+
+            # v1 frames are free on the wire; v2 frames pay AEAD both ways,
+            # and the handshake pays two 2048-bit exponentiations plus a
+            # quote verification up front.
+            assert v1["wire_cycles_per_op"] == 0.0
+            assert v1["handshake_cycles"] == 0.0
+            assert v2["wire_cycles_per_op"] > 0.0
+            assert v2["handshake_cycles"] > 2_000_000  # 2x kex + quote
+
+            # Amortized over 256-request frames, the AEAD toll must stay a
+            # modest fraction of the shard work the frame triggers.
+            assert v2["overhead_pct"] < 50.0, v2["overhead_pct"]
+
+    # The gateway meter lives in the front-door process under both shard
+    # backends, and AEAD charges are pure byte-length functions, so every
+    # simulated column is backend-invariant.
+    for replication in (1, 2):
+        for wire in ("v1", "v2"):
+            (inline,) = result.where(backend="inline", R=replication,
+                                     wire=wire)
+            (process,) = result.where(backend="process", R=replication,
+                                      wire=wire)
+            for column in ("shard_cycles_per_op", "wire_cycles_per_op",
+                           "handshake_cycles", "overhead_pct"):
+                assert inline[column] == process[column], (column, wire,
+                                                           replication)

@@ -201,14 +201,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.balance:
         coordinator.attach_balancer(HotShardBalancer(coordinator))
+    if args.insecure and args.require_encryption:
+        print("error: --insecure and --require-encryption are mutually "
+              "exclusive")
+        return 2
+    if args.insecure:
+        security = "plaintext"
+    elif args.require_encryption:
+        security = "required"
+    else:
+        security = "optional"
     server = ClusterNetServer(coordinator, host=args.host, port=args.port,
-                              max_requests=args.max_requests)
+                              max_requests=args.max_requests,
+                              security=security)
 
     async def run() -> None:
         host, port = await server.start()
         print(f"cluster listening on {host}:{port} "
               f"({args.shards} shards, backend {args.backend}, balancer "
-              f"{'on' if args.balance else 'off'})")
+              f"{'on' if args.balance else 'off'}, wire security "
+              f"{security})")
+        if server.sessions is not None:
+            print(f"  gateway measurement {server.sessions.measurement.hex()}")
         for shard in coordinator.shard_list():
             print(f"  {shard.shard_id}: EPC {shard.epc_bytes:,} B, "
                   f"{shard.store.config.n_buckets:,} buckets")
@@ -225,6 +239,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         report = coordinator.stats().report()["shards"]
         print(f"served {server.requests_served} requests "
               f"in {server.frames_served} frames")
+        if server.sessions is not None:
+            gateway = server.wire_stats()["gateway"]
+            print(f"  wire: {gateway['handshakes']} handshakes, "
+                  f"{gateway['cycles']:,.0f} gateway cycles "
+                  f"({gateway['cipher']})")
         for shard_id in sorted(report):
             row = report[shard_id]
             print(f"  {shard_id}: {row['keys']} keys, "
@@ -294,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-requests", type=int, default=None,
                        help="stop after serving this many request frames "
                             "(default: serve until interrupted)")
+    serve.add_argument("--insecure", action="store_true",
+                       help="v1 plaintext only: refuse encrypted-session "
+                            "handshakes (prices the unprotected baseline)")
+    serve.add_argument("--require-encryption", action="store_true",
+                       help="v2 sessions only: reject plaintext frames "
+                            "(default policy accepts both)")
     serve.set_defaults(func=_cmd_serve)
 
     inspect = sub.add_parser("inspect", help="show store sizing at a scale")

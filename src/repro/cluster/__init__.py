@@ -18,6 +18,9 @@ front door:
   migration (re-sealed through the trusted path);
 * :mod:`~repro.cluster.netserver` — the asyncio TCP front door plus a
   synchronous client with timeouts and read retries;
+* :mod:`~repro.cluster.session` — attested, encrypted v2 wire sessions:
+  the gateway enclave's quote-verified handshake and AEAD framing, with
+  every wire-crypto op priced on a meter;
 * :mod:`~repro.cluster.stats` — cluster-wide metrics aggregation;
 * :mod:`~repro.cluster.replication` — per-partition replica groups:
   fan-out writes, preferred-replica reads, automatic failover;
@@ -45,9 +48,13 @@ from repro.cluster.faults import (
     CLOSE,
     CORRUPT,
     DELAY,
+    DOWNGRADE,
     DROP,
     KILL,
     NET_TARGET,
+    REPLAY,
+    TAMPER,
+    WIRE_KINDS,
     FaultEvent,
     FaultPlan,
     FaultyShard,
@@ -68,6 +75,16 @@ from repro.cluster.netserver import (
     ClusterNetServer,
     DEFAULT_CLIENT_TIMEOUT,
     FRAME_HEADER,
+    SECURITY_POLICIES,
+)
+from repro.cluster.session import (
+    ATTESTATION_ROOT,
+    ClientHandshake,
+    SecureSession,
+    SessionManager,
+    make_quote,
+    measurement,
+    verify_quote,
 )
 from repro.cluster.replication import (
     DEFAULT_REPLICATION,
@@ -82,10 +99,12 @@ from repro.cluster.shard import Shard, build_shards
 from repro.cluster.stats import ClusterStats
 
 __all__ = [
+    "ATTESTATION_ROOT",
     "BACKEND_NAMES",
     "BackgroundServer",
     "CLOSE",
     "CORRUPT",
+    "ClientHandshake",
     "ClusterClient",
     "ClusterCoordinator",
     "ClusterNetServer",
@@ -96,6 +115,7 @@ __all__ = [
     "DEFAULT_REPLICATION",
     "DEFAULT_VNODES",
     "DELAY",
+    "DOWNGRADE",
     "DROP",
     "FRAME_HEADER",
     "FaultEvent",
@@ -110,19 +130,28 @@ __all__ = [
     "NET_TARGET",
     "ProcessBackend",
     "ProcessShard",
+    "REPLAY",
     "Replica",
     "ReplicaGroup",
     "ReplicaState",
     "ResyncReport",
+    "SECURITY_POLICIES",
+    "SecureSession",
+    "SessionManager",
     "Shard",
     "ShardBackend",
+    "TAMPER",
+    "WIRE_KINDS",
     "build_cluster",
     "build_replica_group",
     "build_replicated_cluster",
     "build_shards",
     "default_backend_name",
+    "make_quote",
+    "measurement",
     "reap_leaked_workers",
     "resolve_backend",
     "ring_hash",
     "set_default_backend",
+    "verify_quote",
 ]

@@ -34,13 +34,10 @@ from repro.errors import (
 )
 from repro.server import protocol
 from repro.server.protocol import (
-    OP_HEALTH,
-    STATUS_INTEGRITY_FAILURE,
-    STATUS_NOT_FOUND,
-    STATUS_OK,
-    STATUS_UNAVAILABLE,
+    OpCode,
     Request,
     Response,
+    Status,
 )
 
 DEFAULT_BATCH_WINDOW = 32
@@ -129,7 +126,7 @@ class ClusterCoordinator:
         pending: Dict[str, List[int]] = {sid: [] for sid in self.shards}
         inflight: List[_Flight] = []
         for seq, request in enumerate(requests):
-            if request.opcode == OP_HEALTH:
+            if request.opcode == OpCode.HEALTH:
                 # Answered at the front door, never routed to an enclave.
                 responses[seq] = self.health_response()
                 continue
@@ -170,7 +167,7 @@ class ClusterCoordinator:
     def _collect(self, flight: _Flight,
                  responses: List[Optional[Response]]) -> None:
         """Settle one flight; a failing shard costs error responses, not
-        the batch: every request it owned gets ``STATUS_UNAVAILABLE`` and
+        the batch: every request it owned gets ``Status.UNAVAILABLE`` and
         the other shards' response slots are untouched."""
         flushed = flight.flushed
         if flight.error is None and flushed is None:
@@ -181,7 +178,7 @@ class ClusterCoordinator:
         if flight.error is not None:
             self.flush_failures += 1
             error = Response(
-                STATUS_UNAVAILABLE,
+                Status.UNAVAILABLE,
                 f"shard {flight.shard_id} failed: "
                 f"{type(flight.error).__name__}".encode(),
             )
@@ -195,28 +192,28 @@ class ClusterCoordinator:
 
     def get(self, key: bytes) -> bytes:
         response = self._single(protocol.get(key))
-        if response.status == STATUS_NOT_FOUND:
+        if response.status == Status.NOT_FOUND:
             raise KeyNotFoundError(key)
-        if response.status == STATUS_INTEGRITY_FAILURE:
+        if response.status == Status.INTEGRITY_FAILURE:
             raise IntegrityError(response.value.decode())
-        if response.status == STATUS_UNAVAILABLE:
+        if response.status == Status.UNAVAILABLE:
             raise ReplicaUnavailableError(response.value.decode())
         return response.value
 
     def put(self, key: bytes, value: bytes) -> None:
         response = self._single(protocol.put(key, value))
-        if response.status == STATUS_INTEGRITY_FAILURE:
+        if response.status == Status.INTEGRITY_FAILURE:
             raise IntegrityError(response.value.decode())
-        if response.status == STATUS_UNAVAILABLE:
+        if response.status == Status.UNAVAILABLE:
             raise ReplicaUnavailableError(response.value.decode())
 
     def delete(self, key: bytes) -> None:
         response = self._single(protocol.delete(key))
-        if response.status == STATUS_NOT_FOUND:
+        if response.status == Status.NOT_FOUND:
             raise KeyNotFoundError(key)
-        if response.status == STATUS_INTEGRITY_FAILURE:
+        if response.status == Status.INTEGRITY_FAILURE:
             raise IntegrityError(response.value.decode())
-        if response.status == STATUS_UNAVAILABLE:
+        if response.status == Status.UNAVAILABLE:
             raise ReplicaUnavailableError(response.value.decode())
 
     def _single(self, request: Request) -> Response:
@@ -228,7 +225,7 @@ class ClusterCoordinator:
         except AriaError as exc:
             self.flush_failures += 1
             response = Response(
-                STATUS_UNAVAILABLE,
+                Status.UNAVAILABLE,
                 f"shard {shard.shard_id} failed: "
                 f"{type(exc).__name__}".encode(),
             )
@@ -237,7 +234,7 @@ class ClusterCoordinator:
     # -- health -------------------------------------------------------------------
 
     def health_response(self) -> Response:
-        """The OP_HEALTH reply: a JSON cluster summary (no enclave touched).
+        """The OpCode.HEALTH reply: a JSON cluster summary (no enclave touched).
 
         Per shard: ``"up"``/``"down"`` for plain shards (a plain shard is
         down only when crashed by fault injection), or a replica-state map
@@ -262,7 +259,7 @@ class ClusterCoordinator:
             "ops_routed": self.ops_routed,
             "flush_failures": self.flush_failures,
         }
-        return Response(STATUS_OK,
+        return Response(Status.OK,
                         json.dumps(summary, sort_keys=True).encode())
 
     # -- bulk load (unmetered, mirrors AriaStore.load) ----------------------------

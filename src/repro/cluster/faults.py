@@ -21,6 +21,13 @@ hanging.  This module stages both kinds on a fixed, replayable schedule:
 * net faults (``delay`` / ``drop`` / ``close``) are consumed by
   :class:`~repro.cluster.netserver.ClusterNetServer`, keyed by its served
   frame count.
+* wire attacks (``tamper`` / ``replay`` / ``downgrade``) are the on-path
+  adversary of the v2 session layer, also played by the front door:
+  tamper flips a ciphertext bit in an outgoing sealed frame, replay
+  resends the previously sent frame, downgrade answers a v2 hello with a
+  plaintext rejection.  All three must surface client-side as typed
+  errors (``TamperedFrameError`` / ``ReplayError`` / ``HandshakeError``),
+  never as decoded garbage.
 
 A **kill** models the loss of the enclave, not of the host: EPC contents
 and trust anchors are gone, so :meth:`FaultyShard.restart` brings up a
@@ -43,12 +50,21 @@ CORRUPT = "corrupt"
 DELAY = "delay"
 DROP = "drop"
 CLOSE = "close"
+# Wire attacks (an on-path adversary, played by the server itself so the
+# schedule stays deterministic): flip a ciphertext bit in the outgoing
+# frame, resend a recorded frame, or answer a v2 hello in plaintext.
+TAMPER = "tamper"
+REPLAY = "replay"
+DOWNGRADE = "downgrade"
 
 #: The FaultPlan target consumed by the TCP front door.
 NET_TARGET = "net"
 
 _SHARD_KINDS = {KILL, CORRUPT}
-_NET_KINDS = {DELAY, DROP, CLOSE}
+_NET_KINDS = {DELAY, DROP, CLOSE, TAMPER, REPLAY, DOWNGRADE}
+
+#: Net kinds that act on an established session's data frames.
+WIRE_KINDS = frozenset({TAMPER, REPLAY})
 
 
 @dataclass(frozen=True)
@@ -105,15 +121,37 @@ class FaultPlan:
     def close(self, at: int, target: str = NET_TARGET) -> "FaultPlan":
         return self._add(FaultEvent(CLOSE, target, at))
 
+    def tamper(self, at: int, target: str = NET_TARGET) -> "FaultPlan":
+        """Flip a bit of the ``at``-th served frame's payload in flight."""
+        return self._add(FaultEvent(TAMPER, target, at))
+
+    def replay(self, at: int, target: str = NET_TARGET) -> "FaultPlan":
+        """Resend the previous wire frame after the ``at``-th one."""
+        return self._add(FaultEvent(REPLAY, target, at))
+
+    def downgrade(self, at: int, target: str = NET_TARGET) -> "FaultPlan":
+        """Answer the next v2 client hello with a plaintext rejection."""
+        return self._add(FaultEvent(DOWNGRADE, target, at))
+
     # -- consumption --------------------------------------------------------------
 
     def events_for(self, target: str) -> List[FaultEvent]:
         return list(self._by_target.get(target, ()))
 
-    def pop_due(self, target: str, counter: int) -> List[FaultEvent]:
-        """Events for ``target`` with ``at <= counter`` not yet fired."""
+    def pop_due(self, target: str, counter: int,
+                kinds: Optional[Iterable[str]] = None) -> List[FaultEvent]:
+        """Events for ``target`` with ``at <= counter`` not yet fired.
+
+        ``kinds`` restricts which kinds may fire (and be consumed) at this
+        call site: the front door pops DOWNGRADE only while a handshake is
+        in flight and TAMPER/REPLAY only on established-session frames, so
+        an event never burns itself at a point where it cannot act.
+        """
+        wanted = None if kinds is None else set(kinds)
         due = []
         for event in self._by_target.get(target, ()):
+            if wanted is not None and event.kind not in wanted:
+                continue
             if event.at <= counter and id(event) not in self._fired:
                 self._fired.add(id(event))
                 due.append(event)

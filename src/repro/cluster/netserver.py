@@ -1,11 +1,11 @@
 """Asyncio TCP front door for the sharded cluster.
 
-Speaks the existing ``repro.server.protocol`` batch frames over a stream
-with a 4-byte little-endian length prefix::
+Speaks ``repro.server.protocol`` frames over a stream with a 4-byte
+little-endian length prefix::
 
     wire frame := frame_len (u32 LE) | payload
-    payload    := batch frame   (requests client->server,
-                                 responses server->client)
+    payload    := v1 plaintext batch, or a v2 session frame
+                  (see repro.server.protocol / repro.cluster.session)
 
 * **Pipelining** — a client may write any number of request frames without
   waiting; responses come back in frame order (and positionally within a
@@ -15,6 +15,23 @@ with a 4-byte little-endian length prefix::
   read; an oversized or zero length gets the canonical batch rejection and
   the connection is closed (there is no way to resynchronize a stream
   whose framing is untrusted).
+* **Encrypted sessions** — a connection may open with a v2 handshake frame
+  (:mod:`repro.cluster.session`): the front door's gateway
+  :class:`~repro.cluster.session.SessionManager` answers with a
+  transcript-bound quote, and every later frame on that connection is
+  AEAD-protected.  The ``security`` policy decides what else is allowed:
+
+  ==============  ====================================================
+  ``"optional"``  (default) v1 plaintext and v2 sessions both served
+  ``"required"``  v1 plaintext data frames are rejected and the
+                  connection closed — encrypted or nothing
+  ``"plaintext"`` v2 hellos are refused (the ``--insecure`` front
+                  door that prices the v1 baseline)
+  ==============  ====================================================
+
+  Wire attacks from the fault plan (``tamper``/``replay``/``downgrade``)
+  are staged here, acting as the deterministic on-path adversary; the
+  matching alarms count what the session layer caught.
 * **Graceful shutdown** — :meth:`ClusterNetServer.stop` stops accepting,
   lets in-flight frames finish, closes every connection, and wakes
   :meth:`serve_forever`.
@@ -32,12 +49,34 @@ import socket
 import struct
 import threading
 import time
+import warnings
 from typing import Callable, List, Optional, Tuple
 
-from repro.cluster.faults import CLOSE, DELAY, DROP, NET_TARGET, FaultPlan
-from repro.errors import ClusterTimeoutError
+from repro.cluster.faults import (
+    CLOSE,
+    DELAY,
+    DOWNGRADE,
+    DROP,
+    NET_TARGET,
+    REPLAY,
+    TAMPER,
+    WIRE_KINDS,
+    FaultPlan,
+)
+from repro.cluster.session import ClientHandshake, SecureSession, SessionManager
+from repro.errors import (
+    ClusterConnectionError,
+    ClusterTimeoutError,
+    ConfigurationError,
+    HandshakeError,
+    ProtocolError,
+    ReplayError,
+    StaleSessionError,
+    TamperedFrameError,
+)
 from repro.server import protocol
-from repro.server.protocol import ProtocolError, Request, Response
+from repro.server.protocol import Request, Response
+from repro.sgx.meter import CycleMeter
 
 FRAME_HEADER = struct.Struct("<I")
 
@@ -46,6 +85,18 @@ DEFAULT_CLIENT_TIMEOUT = 5.0
 DEFAULT_READ_RETRIES = 2
 DEFAULT_BACKOFF = 0.05
 DEFAULT_BACKOFF_CAP = 1.0
+
+SECURITY_POLICIES = ("optional", "required", "plaintext")
+
+#: The classic net fault kinds, consumed after a frame is served.
+_CONNECTION_KINDS = frozenset({DELAY, DROP, CLOSE})
+
+_UNSET = object()
+
+
+def _flip_bit(frame: bytes) -> bytes:
+    """The on-path adversary's tamper: one bit of the last byte (the tag)."""
+    return frame[:-1] + bytes([frame[-1] ^ 0x01])
 
 
 class ClusterNetServer:
@@ -59,7 +110,14 @@ class ClusterNetServer:
         port: int = 0,
         max_requests: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        security: str = "optional",
+        sessions: Optional[SessionManager] = None,
     ):
+        if security not in SECURITY_POLICIES:
+            raise ConfigurationError(
+                f"security must be one of {SECURITY_POLICIES}, "
+                f"not {security!r}"
+            )
         self._coordinator = coordinator
         self._host = host
         self._port = port
@@ -67,15 +125,37 @@ class ClusterNetServer:
         self._stop_event: Optional[asyncio.Event] = None
         self._writers: set = set()
         #: Stop after this many request frames (None = serve forever).
+        #: Handshake frames are not request frames and never count.
         self.max_requests = max_requests
-        #: Deterministic connection-level fault injection: ``delay``/
-        #: ``drop``/``close`` events addressed to ``faults.NET_TARGET``,
-        #: keyed by the served-frame counter.
+        #: Deterministic fault injection addressed to ``faults.NET_TARGET``,
+        #: keyed by the served-frame counter: connection faults (``delay``/
+        #: ``drop``/``close``) fire after a frame is served; wire attacks
+        #: (``tamper``/``replay``) act on outgoing v2 session frames and
+        #: ``downgrade`` on the next handshake attempt.
         self.fault_plan = fault_plan
+        self.security = security
+        #: The gateway enclave terminating v2 sessions (None on a
+        #: plaintext-only front door).
+        self.sessions = (
+            sessions if sessions is not None
+            else (SessionManager() if security != "plaintext" else None)
+        )
         self.frames_served = 0
         self.requests_served = 0
         self.frames_dropped = 0
         self.connections_closed_by_fault = 0
+        # What the session layer caught (inbound frames that failed).
+        self.tamper_alarms = 0
+        self.replay_alarms = 0
+        self.stale_session_alarms = 0
+        self.handshake_failures = 0
+        # Policy refusals.
+        self.hellos_refused = 0
+        self.plaintext_rejections = 0
+        # What the fault plan staged (outbound attacks actually played).
+        self.tamper_injections = 0
+        self.replay_injections = 0
+        self.downgrade_injections = 0
 
     @property
     def coordinator(self):
@@ -144,11 +224,31 @@ class ClusterNetServer:
         return (self.max_requests is not None
                 and self.frames_served >= self.max_requests)
 
+    def wire_stats(self) -> dict:
+        """The front door's security ledger: alarms, refusals, injections."""
+        row = {
+            "security": self.security,
+            "tamper_alarms": self.tamper_alarms,
+            "replay_alarms": self.replay_alarms,
+            "stale_session_alarms": self.stale_session_alarms,
+            "handshake_failures": self.handshake_failures,
+            "hellos_refused": self.hellos_refused,
+            "plaintext_rejections": self.plaintext_rejections,
+            "tamper_injections": self.tamper_injections,
+            "replay_injections": self.replay_injections,
+            "downgrade_injections": self.downgrade_injections,
+        }
+        if self.sessions is not None:
+            row["gateway"] = self.sessions.stats()
+        return row
+
     # -- per-connection loop ------------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         self._writers.add(writer)
+        session: Optional[SecureSession] = None
+        last_reply: Optional[bytes] = None  # REPLAY's recorded frame
         try:
             while not self._stop_event.is_set():
                 try:
@@ -167,9 +267,43 @@ class ClusterNetServer:
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
                 try:
-                    requests = protocol.decode_batch(payload)
+                    fheader, _ = protocol.decode_frame(payload)
                 except ProtocolError:
+                    # Carries the v2 magic but is not a well-formed v2
+                    # frame: hostile framing, hang up.
                     await self._send(writer, protocol.encode_batch_rejection())
+                    break
+                if (fheader.version == protocol.WIRE_V2
+                        and fheader.flags & protocol.FLAG_HANDSHAKE):
+                    session, keep = await self._serve_handshake(
+                        writer, payload, session
+                    )
+                    if not keep:
+                        break
+                    continue
+                if fheader.version == protocol.WIRE_V2:
+                    plain = await self._open_session_frame(
+                        writer, payload, session
+                    )
+                    if plain is None:
+                        break  # alarm raised; the stream is under attack
+                else:
+                    # v1 plaintext payload.
+                    if session is not None or self.security == "required":
+                        # Plaintext mid-session is a downgrade attempt;
+                        # plaintext on a v2-only front door is policy.
+                        self.plaintext_rejections += 1
+                        await self._send(
+                            writer, protocol.encode_batch_rejection()
+                        )
+                        break
+                    plain = payload
+                try:
+                    requests = protocol.decode_batch(plain)
+                except ProtocolError:
+                    await self._send_in_session(
+                        writer, protocol.encode_batch_rejection(), session
+                    )
                     continue
                 responses = self._coordinator.execute(requests)
                 self.frames_served += 1
@@ -181,15 +315,22 @@ class ClusterNetServer:
                 if action == DROP:
                     self.frames_dropped += 1
                     continue  # swallow the response; the client times out
-                await self._send(
-                    writer, protocol.encode_batch_responses(responses)
-                )
+                reply = protocol.encode_batch_responses(responses)
+                if session is not None:
+                    reply = session.seal(reply)
+                    last_reply = await self._play_wire_attacks(
+                        writer, reply, last_reply
+                    )
+                else:
+                    await self._send(writer, reply)
                 if self._limit_reached():
                     asyncio.get_running_loop().create_task(self.stop())
                     break
         except ConnectionError:  # pragma: no cover - peer vanished mid-write
             pass
         finally:
+            if session is not None and self.sessions is not None:
+                self.sessions.retire(session)
             self._writers.discard(writer)
             writer.close()
             try:
@@ -197,13 +338,124 @@ class ClusterNetServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    async def _serve_handshake(
+        self,
+        writer: asyncio.StreamWriter,
+        payload: bytes,
+        session: Optional[SecureSession],
+    ) -> Tuple[Optional[SecureSession], bool]:
+        """Answer a v2 client hello; returns (session, keep-connection).
+
+        A policy refusal (plaintext-only front door) and an injected
+        downgrade both answer in plaintext — exactly what an on-path
+        attacker stripping the handshake looks like — and a client that
+        wants encryption must treat that reply as fatal.
+        """
+        downgraded = self.sessions is not None and self._pop_downgrade()
+        if self.sessions is None or downgraded:
+            if downgraded:
+                self.downgrade_injections += 1
+            self.hellos_refused += 1
+            await self._send(writer, protocol.encode_batch_rejection())
+            return session, True
+        if session is not None:
+            # Rekey: a repeated hello on one connection replaces (and
+            # retires) the previous session.
+            self.sessions.retire(session)
+        try:
+            reply, session = self.sessions.accept(payload)
+        except HandshakeError:
+            self.handshake_failures += 1
+            await self._send(writer, protocol.encode_batch_rejection())
+            return None, False  # hostile hello: hang up
+        await self._send(writer, reply)
+        return session, True
+
+    async def _open_session_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        payload: bytes,
+        session: Optional[SecureSession],
+    ) -> Optional[bytes]:
+        """Authenticate + decrypt an inbound v2 data frame.
+
+        Returns the plaintext, or None after raising the matching alarm —
+        in which case the connection is torn down: a stream that carried a
+        forged, replayed, or stale frame is not resynchronizable.
+        """
+        if session is None:
+            # A data frame with no handshake on this connection: a frame
+            # recorded from an earlier (now rekeyed) session being played
+            # into a fresh connection.
+            self.stale_session_alarms += 1
+            await self._send(writer, protocol.encode_batch_rejection())
+            return None
+        try:
+            return session.open(payload)
+        except TamperedFrameError:
+            self.tamper_alarms += 1
+        except StaleSessionError:
+            self.stale_session_alarms += 1
+        except ReplayError:
+            self.replay_alarms += 1
+        except ProtocolError:  # pragma: no cover - headers checked above
+            pass
+        await self._send(writer, protocol.encode_batch_rejection())
+        return None
+
+    async def _play_wire_attacks(
+        self,
+        writer: asyncio.StreamWriter,
+        reply: bytes,
+        last_reply: Optional[bytes],
+    ) -> bytes:
+        """Send a sealed reply, staging any due tamper/replay attack.
+
+        A replay re-sends the *recorded previous* frame ahead of the real
+        reply (the client sees a frame whose sequence number went
+        backwards); a tamper flips one bit of the outgoing frame's tag.
+        Returns the clean frame to record for the next replay.
+        """
+        tamper = replay = False
+        if self.fault_plan is not None:
+            for event in self.fault_plan.pop_due(
+                NET_TARGET, self.frames_served, kinds=WIRE_KINDS
+            ):
+                if event.kind == TAMPER:
+                    tamper = True
+                elif event.kind == REPLAY:
+                    replay = True
+        if replay and last_reply is not None:
+            self.replay_injections += 1
+            await self._send(writer, last_reply)
+        if tamper:
+            self.tamper_injections += 1
+            await self._send(writer, _flip_bit(reply))
+        else:
+            await self._send(writer, reply)
+        if replay and last_reply is None:
+            # Nothing recorded yet: duplicate the frame just sent — the
+            # duplicate is the replay the client must catch next read.
+            self.replay_injections += 1
+            await self._send(writer, reply)
+        return reply
+
+    def _pop_downgrade(self) -> bool:
+        if self.fault_plan is None:
+            return False
+        return bool(self.fault_plan.pop_due(
+            NET_TARGET, self.frames_served, kinds=(DOWNGRADE,)
+        ))
+
     async def _apply_net_faults(self) -> Optional[str]:
         """Fire due connection faults; returns CLOSE/DROP to suppress the
         response, None to serve normally (delays just stall in place)."""
         if self.fault_plan is None:
             return None
         action: Optional[str] = None
-        for event in self.fault_plan.pop_due(NET_TARGET, self.frames_served):
+        for event in self.fault_plan.pop_due(
+            NET_TARGET, self.frames_served, kinds=_CONNECTION_KINDS
+        ):
             if event.kind == DELAY:
                 await asyncio.sleep(event.seconds)
             elif event.kind == DROP:
@@ -212,6 +464,16 @@ class ClusterNetServer:
                 action = CLOSE
         return action
 
+    async def _send_in_session(
+        self,
+        writer: asyncio.StreamWriter,
+        payload: bytes,
+        session: Optional[SecureSession],
+    ) -> None:
+        if session is not None:
+            payload = session.seal(payload)
+        await self._send(writer, payload)
+
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, payload: bytes) -> None:
         writer.write(FRAME_HEADER.pack(len(payload)) + payload)
@@ -219,21 +481,36 @@ class ClusterNetServer:
 
 
 class ClusterClient:
-    """Synchronous wire client: timeouts, typed errors, bounded retries.
+    """Synchronous wire client: encrypted sessions, typed errors, retries.
+
+    By default (``secure=True``) the client opens every connection with the
+    attested v2 handshake (:mod:`repro.cluster.session`): it verifies the
+    gateway's quote — pinning ``expected_measurement`` when given — and
+    seals/opens every frame thereafter.  A server or on-path attacker that
+    answers the hello in plaintext raises
+    :class:`~repro.errors.HandshakeError`; a secure client **never** falls
+    back to plaintext.  ``secure=False`` speaks the v1 plaintext protocol
+    (the priced baseline; the CLI exposes it as ``--insecure``).
 
     Every socket operation carries ``timeout`` (connect *and* read), so a
     hung or fault-injected server surfaces as
     :class:`~repro.errors.ClusterTimeoutError` instead of blocking the
     caller forever.  A timeout desynchronizes the stream (the response may
-    still be in flight), so recovery always reconnects before retrying.
+    still be in flight), so recovery always reconnects — and, when secure,
+    re-handshakes under a fresh session — before retrying.
 
     Retries are **reads only**: :meth:`get` (and :meth:`health`) re-issue
     up to ``retries`` times with exponential backoff (``backoff * 2**n``,
-    capped at ``backoff_cap``) on timeout or connection loss — idempotent,
-    so at-least-once delivery is safe.  :meth:`put`/:meth:`delete` and
-    :meth:`request_batch` never auto-retry: a write whose ack was lost may
-    still have executed, and only the caller knows whether replaying it is
-    acceptable.
+    capped at ``backoff_cap``) on timeout, connection loss, or a wire
+    attack caught by the session layer (tampered/replayed response) —
+    idempotent, so at-least-once delivery is safe.  :meth:`put`/
+    :meth:`delete` and :meth:`request_batch` never auto-retry: a write
+    whose ack was lost (or forged) may still have executed, and only the
+    caller knows whether replaying it is acceptable.
+
+    Construct via :meth:`connect`; passing socket/retry tuning directly to
+    the constructor is deprecated.  Every error this client raises is part
+    of the :mod:`repro.errors` tree.
     """
 
     def __init__(
@@ -241,26 +518,94 @@ class ClusterClient:
         host: str,
         port: int,
         *,
+        secure: bool = True,
+        expected_measurement: Optional[bytes] = None,
+        crypto: str = "fast",
+        timeout: float = _UNSET,
+        retries: int = _UNSET,
+        backoff: float = _UNSET,
+        backoff_cap: float = _UNSET,
+        sleep: Callable[[float], None] = _UNSET,
+    ):
+        tuning = {
+            name: value
+            for name, value in (
+                ("timeout", timeout), ("retries", retries),
+                ("backoff", backoff), ("backoff_cap", backoff_cap),
+                ("sleep", sleep),
+            )
+            if value is not _UNSET
+        }
+        if tuning:
+            warnings.warn(
+                "passing socket/retry tuning "
+                f"({', '.join(sorted(tuning))}) to ClusterClient() is "
+                "deprecated; use the ClusterClient.connect() factory",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        timeout = tuning.get("timeout", DEFAULT_CLIENT_TIMEOUT)
+        retries = tuning.get("retries", DEFAULT_READ_RETRIES)
+        if timeout <= 0:
+            raise ConfigurationError("timeout must be positive")
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = retries
+        self._backoff = tuning.get("backoff", DEFAULT_BACKOFF)
+        self._backoff_cap = tuning.get("backoff_cap", DEFAULT_BACKOFF_CAP)
+        self._sleep = tuning.get("sleep", time.sleep)
+        self._secure = secure
+        self._expected_measurement = expected_measurement
+        self._crypto = crypto
+        self._session: Optional[SecureSession] = None
+        #: Accumulates this client's share of wire crypto (handshakes plus
+        #: per-frame AEAD) across the connection's whole life.
+        self.wire_meter = CycleMeter()
+        self.handshakes = 0
+        self._last_handshake_cycles = 0.0
+        self.reconnects = 0
+        self.retried_reads = 0
+        self._sock = self._connect()
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        secure: bool = True,
+        expected_measurement: Optional[bytes] = None,
+        crypto: str = "fast",
         timeout: float = DEFAULT_CLIENT_TIMEOUT,
         retries: int = DEFAULT_READ_RETRIES,
         backoff: float = DEFAULT_BACKOFF,
         backoff_cap: float = DEFAULT_BACKOFF_CAP,
         sleep: Callable[[float], None] = time.sleep,
-    ):
-        if timeout <= 0:
-            raise ValueError("timeout must be positive")
-        if retries < 0:
-            raise ValueError("retries must be >= 0")
-        self._host = host
-        self._port = port
-        self._timeout = timeout
-        self._retries = retries
-        self._backoff = backoff
-        self._backoff_cap = backoff_cap
-        self._sleep = sleep
-        self.reconnects = 0
-        self.retried_reads = 0
-        self._sock = self._connect()
+    ) -> "ClusterClient":
+        """The factory: connect (and, unless ``secure=False``, handshake).
+
+        This is the supported home for socket/retry tuning; the
+        constructor accepts the same keywords only for backward
+        compatibility, with a :class:`DeprecationWarning`.
+        """
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return cls(
+                host, port,
+                secure=secure,
+                expected_measurement=expected_measurement,
+                crypto=crypto,
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+                backoff_cap=backoff_cap,
+                sleep=sleep,
+            )
+
+    # -- connection + handshake ---------------------------------------------------
 
     def _connect(self) -> socket.socket:
         try:
@@ -270,42 +615,122 @@ class ClusterClient:
             raise ClusterTimeoutError(
                 f"connect to {self._host}:{self._port} timed out after "
                 f"{self._timeout}s") from exc
+        except OSError as exc:
+            raise ClusterConnectionError(
+                f"connect to {self._host}:{self._port} failed: {exc}"
+            ) from exc
         sock.settimeout(self._timeout)
+        if self._secure:
+            try:
+                self._session = self._handshake(sock)
+            except BaseException:
+                sock.close()
+                raise
         return sock
+
+    def _handshake(self, sock: socket.socket) -> SecureSession:
+        before = self.wire_meter.cycles
+        handshake = ClientHandshake(
+            expected_measurement=self._expected_measurement,
+            crypto=self._crypto,
+            meter=self.wire_meter,
+        )
+        self._send_raw(sock, handshake.hello())
+        session = handshake.finish(self._recv_raw(sock))
+        self.handshakes += 1
+        self._last_handshake_cycles = self.wire_meter.cycles - before
+        return session
 
     def _reconnect(self) -> None:
         self.close()
+        self._session = None
         self._sock = self._connect()
         self.reconnects += 1
+
+    def session_info(self) -> dict:
+        """What this connection negotiated, and what it cost.
+
+        ``handshake_cycles`` is the simulated client-side price of the most
+        recent handshake (key exchange + quote verification);
+        ``wire_cycles`` accumulates all wire crypto this client has ever
+        performed, handshakes and per-frame AEAD alike.
+        """
+        info = {
+            "secure": self._session is not None,
+            "version": (protocol.WIRE_V2 if self._session is not None
+                        else protocol.WIRE_V1),
+            "cipher": (self._session.cipher if self._session is not None
+                       else None),
+            "session_id": (self._session.session_id
+                           if self._session is not None else None),
+            "handshakes": self.handshakes,
+            "handshake_cycles": self._last_handshake_cycles,
+            "wire_cycles": self.wire_meter.cycles,
+        }
+        if self._session is not None:
+            info["frames_sealed"] = self._session.frames_sealed
+            info["frames_opened"] = self._session.frames_opened
+        return info
 
     # -- framing ------------------------------------------------------------------
 
     def send_frame(self, payload: bytes) -> None:
+        """Send one protocol payload, sealed when a session is live."""
+        if self._session is not None:
+            payload = self._session.seal(payload)
+        self._send_raw(self._sock, payload)
+
+    def recv_frame(self) -> bytes:
+        """Receive one protocol payload, opened when a session is live.
+
+        On an encrypted connection the only plaintext the client accepts
+        is the canonical batch rejection — the server (or an on-path
+        attacker) refusing service, which carries denial but no data.
+        Any other plaintext is treated as a forgery.
+        """
+        data = self._recv_raw(self._sock)
+        if self._session is None:
+            return data
+        if data.startswith(protocol.V2_MAGIC):
+            return self._session.open(data)
+        if data == protocol.encode_batch_rejection():
+            return data
+        raise TamperedFrameError(
+            "plaintext data frame on an encrypted session"
+        )
+
+    def _send_raw(self, sock: socket.socket, payload: bytes) -> None:
         try:
-            self._sock.sendall(FRAME_HEADER.pack(len(payload)) + payload)
+            sock.sendall(FRAME_HEADER.pack(len(payload)) + payload)
         except socket.timeout as exc:
             raise ClusterTimeoutError(
                 f"send timed out after {self._timeout}s") from exc
+        except OSError as exc:
+            raise ClusterConnectionError(
+                f"send failed: connection lost ({exc})") from exc
 
-    def recv_frame(self) -> bytes:
-        header = self._recv_exactly(FRAME_HEADER.size)
+    def _recv_raw(self, sock: socket.socket) -> bytes:
+        header = self._recv_exactly(sock, FRAME_HEADER.size)
         (frame_len,) = FRAME_HEADER.unpack(header)
         if frame_len > protocol.MAX_FRAME_BYTES:
             raise ProtocolError(f"server frame exceeds "
                                 f"{protocol.MAX_FRAME_BYTES} bytes")
-        return self._recv_exactly(frame_len)
+        return self._recv_exactly(sock, frame_len)
 
-    def _recv_exactly(self, n: int) -> bytes:
+    def _recv_exactly(self, sock: socket.socket, n: int) -> bytes:
         chunks = []
         remaining = n
         while remaining:
             try:
-                chunk = self._sock.recv(remaining)
+                chunk = sock.recv(remaining)
             except socket.timeout as exc:
                 raise ClusterTimeoutError(
                     f"no response within {self._timeout}s") from exc
+            except OSError as exc:
+                raise ClusterConnectionError(
+                    f"receive failed: connection lost ({exc})") from exc
             if not chunk:
-                raise ConnectionError("server closed the connection")
+                raise ClusterConnectionError("server closed the connection")
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
@@ -315,23 +740,32 @@ class ClusterClient:
     def request_batch(self, requests: List[Request]) -> List[Response]:
         """One frame out, one frame back; positional responses.
 
-        Raises :class:`~repro.server.protocol.BatchRejectedError` if the
-        server rejected the delivery as a unit, and
-        :class:`~repro.errors.ClusterTimeoutError` if it never answered.
-        Never retried here — batches may contain writes.
+        Raises :class:`~repro.errors.BatchRejectedError` if the server
+        rejected the delivery as a unit,
+        :class:`~repro.errors.ClusterTimeoutError` if it never answered,
+        and :class:`~repro.errors.TamperedFrameError` /
+        :class:`~repro.errors.ReplayError` if the response frame failed
+        the session's authentication.  Never retried here — batches may
+        contain writes.
         """
         self.send_frame(protocol.encode_batch(requests))
         return protocol.decode_batch_responses(self.recv_frame(),
                                                expected=len(requests))
 
     def _retrying_single(self, request: Request) -> Response:
-        """At-least-once delivery for an idempotent single request."""
+        """At-least-once delivery for an idempotent single request.
+
+        Wire-attack errors (tampered or replayed response) are retryable
+        here for the same reason timeouts are: the request is idempotent
+        and the reconnect re-handshakes under a fresh session.
+        """
         attempt = 0
         while True:
             try:
                 [response] = self.request_batch([request])
                 return response
-            except (ClusterTimeoutError, ConnectionError, OSError):
+            except (ClusterTimeoutError, ConnectionError, OSError,
+                    TamperedFrameError, ReplayError):
                 if attempt >= self._retries:
                     raise
                 self._sleep(min(self._backoff * (2 ** attempt),
@@ -378,10 +812,14 @@ class BackgroundServer:
 
     def __init__(self, coordinator, *, host: str = "127.0.0.1",
                  port: int = 0, max_requests: Optional[int] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 security: str = "optional",
+                 sessions: Optional[SessionManager] = None):
         self.server = ClusterNetServer(coordinator, host=host, port=port,
                                        max_requests=max_requests,
-                                       fault_plan=fault_plan)
+                                       fault_plan=fault_plan,
+                                       security=security,
+                                       sessions=sessions)
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ready = threading.Event()

@@ -24,10 +24,10 @@ Request semantics (:meth:`ReplicaGroup.flush_batch`):
 * a replica that raises an **integrity alarm** is quarantined (marked DOWN
   for re-sync) and the failing *reads* fail over to a peer — unless it is
   the group's last live replica, in which case the alarm surfaces to the
-  client (``STATUS_INTEGRITY_FAILURE``) rather than silently going dark:
+  client (``Status.INTEGRITY_FAILURE``) rather than silently going dark:
   an attacked-but-alive store is still more useful than no store;
 * with **no live replica at all**, every request in the batch gets
-  ``STATUS_UNAVAILABLE`` — an error response, never a lost slot.
+  ``Status.UNAVAILABLE`` — an error response, never a lost slot.
 
 A DOWN replica stays out of the read and write paths until the
 :class:`~repro.cluster.health.HealthMonitor` restarts it and re-syncs its
@@ -56,11 +56,10 @@ from repro.errors import (
     ShardCrashedError,
 )
 from repro.server.protocol import (
-    OP_GET,
-    STATUS_INTEGRITY_FAILURE,
-    STATUS_UNAVAILABLE,
+    OpCode,
     Request,
     Response,
+    Status,
 )
 from repro.sgx.meter import CycleMeter, MeterSnapshot
 
@@ -91,7 +90,7 @@ class Replica:
 
 
 def _unavailable(group_id: str) -> Response:
-    return Response(STATUS_UNAVAILABLE,
+    return Response(Status.UNAVAILABLE,
                     b"no live replica in " + group_id.encode())
 
 
@@ -138,7 +137,7 @@ class ReplicaGroup:
         if not requests:
             return []
         write_positions = [i for i, r in enumerate(requests)
-                           if r.opcode != OP_GET]
+                           if r.opcode != OpCode.GET]
         writes = [requests[i] for i in write_positions]
 
         # 1. Primary pass: the full batch, in order, on the first live
@@ -172,7 +171,7 @@ class ReplicaGroup:
                 except ShardCrashedError:
                     self.mark_down(replica, "crash")
                     continue
-                if any(r.status == STATUS_INTEGRITY_FAILURE for r in peer):
+                if any(r.status == Status.INTEGRITY_FAILURE for r in peer):
                     # This replica's untrusted memory is rotten; quarantine
                     # it for re-sync rather than let it diverge.
                     self.mark_down(replica, "integrity")
@@ -185,7 +184,7 @@ class ReplicaGroup:
         #    reads by re-execution) — unless the primary is the last live
         #    replica, in which case the alarm surfaces.
         alarmed = [i for i, r in enumerate(responses)
-                   if r.status == STATUS_INTEGRITY_FAILURE]
+                   if r.status == Status.INTEGRITY_FAILURE]
         if alarmed and len(self.live_replicas()) > 1:
             self.mark_down(primary, "integrity")
             if peer_write_responses is not None:
@@ -196,7 +195,7 @@ class ReplicaGroup:
                         responses[i] = peer_write_responses[write_index[i]]
                         self.failovers += 1
             alarmed_reads = [i for i in alarmed
-                             if requests[i].opcode == OP_GET]
+                             if requests[i].opcode == OpCode.GET]
             self._failover_reads(alarmed_reads, requests, responses)
         return responses
 
@@ -223,7 +222,7 @@ class ReplicaGroup:
             for i, response in zip(remaining, retried):
                 responses[i] = response
             still_bad = [i for i, r in zip(remaining, retried)
-                         if r.status == STATUS_INTEGRITY_FAILURE]
+                         if r.status == Status.INTEGRITY_FAILURE]
             if not still_bad or len(self.live_replicas()) <= 1:
                 return  # clean, or the last live replica: surface the alarm
             self.mark_down(replica, "integrity")

@@ -25,6 +25,11 @@ class ReplayError(IntegrityError):
     Stale-but-valid (data, counter, MAC) triples are caught by the Merkle
     tree over the encryption counters: the replayed counter no longer matches
     the MAC path up to the in-enclave root (or first cached ancestor).
+
+    The wire layer raises the same alarm for replayed session frames: a v2
+    frame whose sequence number does not advance past the last one seen
+    (see :mod:`repro.cluster.session`) is a recorded-and-resent frame, even
+    though its MAC verifies.
     """
 
 
@@ -83,4 +88,55 @@ class ClusterTimeoutError(AriaError):
     Raised instead of the raw ``socket.timeout`` so callers can distinguish
     "the server hung" (retryable for idempotent reads) from protocol or
     integrity failures (never blindly retryable).
+    """
+
+
+class ProtocolError(AriaError, ValueError):
+    """A malformed wire frame (attacker-supplied bytes are never trusted).
+
+    Inherits ``ValueError`` for backward compatibility with callers that
+    predate the unified :class:`AriaError` tree.
+    """
+
+
+class BatchRejectedError(ProtocolError):
+    """The server rejected the whole batch; none of its requests executed."""
+
+
+class HandshakeError(AriaError):
+    """The attested session handshake failed.
+
+    Covers every way the v2 handshake can go wrong: truncated or malformed
+    hellos, a quote that fails attestation verification, a quote bound to a
+    different handshake transcript, an enclave measurement that does not
+    match the client's expectation, and a server (or on-path attacker)
+    answering a v2 hello with a plaintext downgrade.  A client configured
+    for an encrypted session never falls back to plaintext on this error.
+    """
+
+
+class TamperedFrameError(IntegrityError):
+    """A v2 wire frame failed AEAD authentication.
+
+    The ciphertext, the frame header, or the tag was modified in flight;
+    nothing of the payload is released to the caller.
+    """
+
+
+class StaleSessionError(ReplayError):
+    """A frame arrived under a session id that is not live on this channel.
+
+    Recording an encrypted frame and replaying it on a later connection
+    (after a rekey) presents a valid-looking frame under a retired session
+    id; it is rejected before any decryption output is produced.
+    """
+
+
+class ClusterConnectionError(AriaError, ConnectionError):
+    """The cluster connection was closed or could not be established.
+
+    The typed replacement for bare ``ConnectionError``/``OSError`` escaping
+    :class:`~repro.cluster.netserver.ClusterClient`; inherits
+    ``ConnectionError`` so existing ``except ConnectionError`` handlers keep
+    working.
     """

@@ -21,17 +21,11 @@ from typing import Iterable
 from repro.errors import IntegrityError, KeyNotFoundError
 from repro.server import protocol
 from repro.server.protocol import (
-    OP_DELETE,
-    OP_GET,
-    OP_HEALTH,
-    OP_PUT,
-    STATUS_BAD_REQUEST,
-    STATUS_INTEGRITY_FAILURE,
-    STATUS_NOT_FOUND,
-    STATUS_OK,
+    OpCode,
     ProtocolError,
     Request,
     Response,
+    Status,
 )
 
 
@@ -50,7 +44,7 @@ class AriaServer:
         try:
             request, _ = protocol.decode_request(request_bytes)
         except ProtocolError:
-            return self._exit(Response(STATUS_BAD_REQUEST).encode())
+            return self._exit(Response(Status.BAD_REQUEST).encode())
         response = self._dispatch(request)
         return self._exit(response.encode())
 
@@ -109,26 +103,26 @@ class AriaServer:
 
     def _dispatch(self, request: Request) -> Response:
         try:
-            if request.opcode == OP_HEALTH:
+            if request.opcode == OpCode.HEALTH:
                 # A liveness ping: reaching this line means the enclave is
                 # up.  Never empty-valued BAD_REQUEST, so a one-request
                 # batch can't collide with the whole-batch-rejection shape.
-                return Response(STATUS_OK, b"ok")
-            if request.opcode == OP_GET:
-                return Response(STATUS_OK, self._store.get(request.key))
-            if request.opcode == OP_PUT:
+                return Response(Status.OK, b"ok")
+            if request.opcode == OpCode.GET:
+                return Response(Status.OK, self._store.get(request.key))
+            if request.opcode == OpCode.PUT:
                 self._store.put(request.key, request.value)
-                return Response(STATUS_OK)
-            if request.opcode == OP_DELETE:
+                return Response(Status.OK)
+            if request.opcode == OpCode.DELETE:
                 self._store.delete(request.key)
-                return Response(STATUS_OK)
+                return Response(Status.OK)
         except KeyNotFoundError:
-            return Response(STATUS_NOT_FOUND)
+            return Response(Status.NOT_FOUND)
         except IntegrityError as exc:
             # An alarm, not a crash: the client learns the store is under
             # attack; the failing state stays quarantined inside the raise.
-            return Response(STATUS_INTEGRITY_FAILURE, str(exc).encode())
-        return Response(STATUS_BAD_REQUEST)
+            return Response(Status.INTEGRITY_FAILURE, str(exc).encode())
+        return Response(Status.BAD_REQUEST)
 
 
 class AriaClient:
@@ -144,9 +138,9 @@ class AriaClient:
 
     def get(self, key: bytes) -> bytes:
         response = self._roundtrip(protocol.get(key))
-        if response.status == STATUS_NOT_FOUND:
+        if response.status == Status.NOT_FOUND:
             raise KeyNotFoundError(key)
-        if response.status == STATUS_INTEGRITY_FAILURE:
+        if response.status == Status.INTEGRITY_FAILURE:
             raise IntegrityError(response.value.decode())
         return response.value
 
@@ -155,7 +149,7 @@ class AriaClient:
 
     def delete(self, key: bytes) -> None:
         response = self._roundtrip(protocol.delete(key))
-        if response.status == STATUS_NOT_FOUND:
+        if response.status == Status.NOT_FOUND:
             raise KeyNotFoundError(key)
 
     def _roundtrip(self, request: Request) -> Response:

@@ -64,6 +64,14 @@ class CostModel:
     compare_per_byte: float = 0.25
     branch: float = 5.0  # generic in-enclave bookkeeping step
 
+    # Wire-session establishment (extension: repro.cluster.session).  A
+    # 2048-bit modular exponentiation costs on the order of 10^6 cycles on
+    # the paper's platform, and the handshake performs two (offer + shared
+    # secret); EPID/DCAP quote generation and verification are of the same
+    # order (each involves an EGETKEY derivation plus asymmetric crypto).
+    kex: float = 1_500_000.0
+    quote_attest: float = 700_000.0
+
     def access_cost(self, nbytes: int, *, in_epc: bool) -> float:
         """Cost of one dependent access touching ``nbytes`` contiguous bytes."""
         base = self.epc_access if in_epc else self.untrusted_access

@@ -31,6 +31,7 @@ _BACKEND_MODULES = {
     "test_cluster_faults",
     "test_cluster_replication",
     "test_netserver",
+    "test_wire_session",
 }
 
 _BACKEND_PARAMS = [

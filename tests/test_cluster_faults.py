@@ -184,7 +184,7 @@ class TestNetFaults:
         plan = FaultPlan().delay(at=1, seconds=1.0)
         with BackgroundServer(coord, fault_plan=plan) as background:
             host, port = background.server.address
-            client = ClusterClient(host, port, timeout=0.2, retries=0)
+            client = ClusterClient.connect(host, port, timeout=0.2, retries=0)
             try:
                 with pytest.raises(ClusterTimeoutError):
                     client.get(b"k")
@@ -199,7 +199,7 @@ class TestNetFaults:
         with BackgroundServer(coord, fault_plan=plan) as background:
             host, port = background.server.address
             naps = []
-            client = ClusterClient(host, port, timeout=0.3, retries=2,
+            client = ClusterClient.connect(host, port, timeout=0.3, retries=2,
                                    backoff=0.01, sleep=naps.append)
             try:
                 response = client.get(b"k")
@@ -218,7 +218,7 @@ class TestNetFaults:
         plan = FaultPlan().close(at=1)
         with BackgroundServer(coord, fault_plan=plan) as background:
             host, port = background.server.address
-            client = ClusterClient(host, port, timeout=0.5, retries=1,
+            client = ClusterClient.connect(host, port, timeout=0.5, retries=1,
                                    backoff=0.01, sleep=lambda _: None)
             try:
                 # First frame is eaten by the close; the retry reconnects
@@ -234,7 +234,7 @@ class TestNetFaults:
         plan = FaultPlan().drop(at=1)
         with BackgroundServer(coord, fault_plan=plan) as background:
             host, port = background.server.address
-            client = ClusterClient(host, port, timeout=0.2, retries=3,
+            client = ClusterClient.connect(host, port, timeout=0.2, retries=3,
                                    backoff=0.01, sleep=lambda _: None)
             try:
                 with pytest.raises(ClusterTimeoutError):
