@@ -15,6 +15,7 @@ Expected shape (all simulated cycles, never wall-clock):
 import pytest
 
 from repro.bench.experiments import (
+    cluster_durability,
     cluster_process_backend,
     cluster_rebalance,
     cluster_replication,
@@ -163,3 +164,47 @@ def test_cluster_wire_overhead(run_experiment):
                            "handshake_cycles", "overhead_pct"):
                 assert inline[column] == process[column], (column, wire,
                                                            replication)
+
+
+def test_durability_overhead(run_experiment):
+    result = run_experiment(cluster_durability, scale=bench_scale(2048),
+                            n_ops=2000)
+
+    for backend in ("inline", "process"):
+        (memory,) = result.where(backend=backend, mode="in-memory")
+        (tight,) = result.where(backend=backend, mode="durable e=8")
+        (loose,) = result.where(backend=backend, mode="durable e=32")
+
+        # The sidecar commits parent-side: the enclaves' own serving work
+        # is byte-for-byte what the in-memory run charged.
+        assert memory["shard_cycles_per_op"] == tight["shard_cycles_per_op"]
+        assert memory["shard_cycles_per_op"] == loose["shard_cycles_per_op"]
+
+        # In-memory mode writes no log and pays no durability cycles;
+        # durable mode pays seal + chain + OCALL per group commit.
+        assert memory["dur_cycles_per_op"] == 0.0
+        assert memory["log_bytes_per_op"] == 0.0
+        assert tight["dur_cycles_per_op"] > 0.0
+        assert loose["log_bytes_per_op"] > 0.0
+
+        # The epoch knob prices freshness: binding the counter every 8
+        # commits costs strictly more than every 32, because each binding
+        # is a multi-million-cycle monotonic-counter increment.
+        assert tight["dur_cycles_per_op"] > loose["dur_cycles_per_op"]
+
+        # Recovery actually ran after total partition death, rebuilt a
+        # non-trivial store, and was priced.
+        for row in (tight, loose):
+            assert row["recovery_cycles"] > 0.0
+            assert row["recovered_keys"] > 0
+        assert memory["recovery_cycles"] == 0.0
+
+    # The sidecar and its meter live in the coordinator process for both
+    # shard backends, so every simulated column is backend-invariant.
+    for mode in ("in-memory", "durable e=8", "durable e=32"):
+        (inline,) = result.where(backend="inline", mode=mode)
+        (process,) = result.where(backend="process", mode=mode)
+        for column in ("shard_cycles_per_op", "dur_cycles_per_op",
+                       "log_bytes_per_op", "recovery_cycles",
+                       "recovered_keys"):
+            assert inline[column] == process[column], (column, mode)

@@ -179,26 +179,75 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import os
 
     from repro.cluster import (
         ClusterNetServer,
+        HealthMonitor,
         HotShardBalancer,
         build_cluster,
+        build_replicated_cluster,
     )
 
     if args.shards < 1:
         print("--shards must be at least 1", file=sys.stderr)
         return 1
-    coordinator = build_cluster(
-        args.shards,
-        n_keys=args.keys,
-        scale=args.scale,
-        index=args.index,
-        vnodes=args.vnodes,
-        batch_window=args.batch_window,
-        seed=args.seed,
-        backend=args.backend,
-    )
+    if args.replication < 1:
+        print("--replication must be at least 1", file=sys.stderr)
+        return 1
+    if args.durable and not args.data_dir:
+        print("--durable needs --data-dir (where the sealed snapshot/log "
+              "files live)", file=sys.stderr)
+        return 2
+    if args.durable or args.replication > 1:
+        coordinator = build_replicated_cluster(
+            args.shards,
+            replication=args.replication,
+            n_keys=args.keys,
+            scale=args.scale,
+            index=args.index,
+            vnodes=args.vnodes,
+            batch_window=args.batch_window,
+            seed=args.seed,
+            backend=args.backend,
+        )
+    else:
+        coordinator = build_cluster(
+            args.shards,
+            n_keys=args.keys,
+            scale=args.scale,
+            index=args.index,
+            vnodes=args.vnodes,
+            batch_window=args.batch_window,
+            seed=args.seed,
+            backend=args.backend,
+        )
+    restored = {}
+    if args.durable:
+        from repro.errors import DurabilityError
+        from repro.persist import (
+            FileDisk,
+            attach_cluster_durability,
+            restore_cluster_from_storage,
+        )
+        from repro.sgx.monotonic import MonotonicCounterService
+
+        disk = FileDisk(args.data_dir)
+        counters = MonotonicCounterService(
+            path=os.path.join(args.data_dir, "counters.json"))
+        attach_cluster_durability(coordinator, disk, counters,
+                                  seed=args.seed,
+                                  epoch_every=args.epoch_every)
+        try:
+            restored = restore_cluster_from_storage(coordinator)
+        except DurabilityError as exc:
+            # A rollback/tamper detection on startup is a refusal to serve
+            # stale data, not a crash: surface it and stop.
+            print(f"refusing to serve: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            coordinator.close()
+            return 3
+        coordinator.attach_health_monitor(HealthMonitor(coordinator))
     if args.balance:
         coordinator.attach_balancer(HotShardBalancer(coordinator))
     if args.insecure and args.require_encryption:
@@ -221,11 +270,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"({args.shards} shards, backend {args.backend}, balancer "
               f"{'on' if args.balance else 'off'}, wire security "
               f"{security})")
+        if args.durable:
+            print(f"  durable: data dir {args.data_dir}, replication "
+                  f"{args.replication}, epoch every {args.epoch_every} "
+                  "commits")
+            for shard_id in sorted(restored):
+                state = restored[shard_id]
+                print(f"  {shard_id}: restored {len(state.pairs)} keys "
+                      f"(epoch {state.epoch}, {state.batches_replayed} "
+                      "batches replayed)")
         if server.sessions is not None:
             print(f"  gateway measurement {server.sessions.measurement.hex()}")
         for shard in coordinator.shard_list():
-            print(f"  {shard.shard_id}: EPC {shard.epc_bytes:,} B, "
-                  f"{shard.store.config.n_buckets:,} buckets")
+            line = f"  {shard.shard_id}: EPC {shard.epc_bytes:,} B"
+            replicas = getattr(shard, "replicas", None)
+            if replicas:  # a replica group fronts its enclaves
+                line += f", {len(replicas)} replica(s)"
+            config = getattr(shard.store, "config", None)
+            if config is not None:
+                line += f", {config.n_buckets:,} buckets"
+            print(line)
         try:
             await server.serve_forever()
         except asyncio.CancelledError:  # pragma: no cover - ^C path
@@ -316,6 +380,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--insecure", action="store_true",
                        help="v1 plaintext only: refuse encrypted-session "
                             "handshakes (prices the unprotected baseline)")
+    serve.add_argument("--durable", action="store_true",
+                       help="rollback-protected sealed persistence: group-"
+                            "commit every acked write to a sealed WAL and "
+                            "recover partitions across restarts")
+    serve.add_argument("--data-dir", default=None,
+                       help="directory for the sealed snapshot/log files "
+                            "and the monotonic counter store (required "
+                            "with --durable)")
+    serve.add_argument("--replication", type=int, default=1,
+                       help="replicas per partition (replica groups even "
+                            "at 1, which durable mode requires)")
+    serve.add_argument("--epoch-every", type=int, default=32,
+                       help="group commits between monotonic-counter "
+                            "bindings (lower = smaller offline rollback "
+                            "window, higher amortized counter cost)")
     serve.add_argument("--require-encryption", action="store_true",
                        help="v2 sessions only: reject plaintext frames "
                             "(default policy accepts both)")

@@ -45,23 +45,33 @@ from repro.cluster.coordinator import (
     build_cluster,
 )
 from repro.cluster.faults import (
+    CAPTURE,
+    CHAOS_DUR_KINDS,
     CLOSE,
     CORRUPT,
+    CTR_RESET,
     DELAY,
     DOWNGRADE,
     DROP,
+    DURABILITY_KINDS,
+    IO_ERROR,
     KILL,
     NET_TARGET,
     REPLAY,
+    ROLLBACK,
     TAMPER,
+    TORN,
+    TRUNCATE,
     WIRE_KINDS,
     FaultEvent,
     FaultPlan,
     FaultyShard,
+    dur_target,
 )
 from repro.cluster.health import (
     DEFAULT_CHECK_EVERY,
     HealthMonitor,
+    RecoveryReport,
     ResyncReport,
 )
 from repro.cluster.procbackend import (
@@ -102,8 +112,11 @@ __all__ = [
     "ATTESTATION_ROOT",
     "BACKEND_NAMES",
     "BackgroundServer",
+    "CAPTURE",
+    "CHAOS_DUR_KINDS",
     "CLOSE",
     "CORRUPT",
+    "CTR_RESET",
     "ClientHandshake",
     "ClusterClient",
     "ClusterCoordinator",
@@ -117,6 +130,7 @@ __all__ = [
     "DELAY",
     "DOWNGRADE",
     "DROP",
+    "DURABILITY_KINDS",
     "FRAME_HEADER",
     "FaultEvent",
     "FaultPlan",
@@ -124,6 +138,7 @@ __all__ = [
     "HashRing",
     "HealthMonitor",
     "HotShardBalancer",
+    "IO_ERROR",
     "InlineBackend",
     "KILL",
     "MigrationReport",
@@ -131,9 +146,11 @@ __all__ = [
     "ProcessBackend",
     "ProcessShard",
     "REPLAY",
+    "ROLLBACK",
     "Replica",
     "ReplicaGroup",
     "ReplicaState",
+    "RecoveryReport",
     "ResyncReport",
     "SECURITY_POLICIES",
     "SecureSession",
@@ -141,12 +158,15 @@ __all__ = [
     "Shard",
     "ShardBackend",
     "TAMPER",
+    "TORN",
+    "TRUNCATE",
     "WIRE_KINDS",
     "build_cluster",
     "build_replica_group",
     "build_replicated_cluster",
     "build_shards",
     "default_backend_name",
+    "dur_target",
     "make_quote",
     "measurement",
     "reap_leaked_workers",

@@ -56,15 +56,39 @@ CLOSE = "close"
 TAMPER = "tamper"
 REPLAY = "replay"
 DOWNGRADE = "downgrade"
+# Durability faults, consumed by repro.persist.PartitionDurability at its
+# commit boundaries (and, for the attacker-strikes-during-downtime kinds,
+# at recovery start).  ``at`` counts the partition's commit attempts.
+TORN = "torn"            # append half a record, then "crash" the write
+TRUNCATE = "truncate"    # cut the on-disk log in half
+IO_ERROR = "io_error"    # the commit write fails before any byte lands
+CAPTURE = "capture"      # attacker snapshots the whole untrusted disk
+ROLLBACK = "rollback"    # attacker restores the captured disk state
+CTR_RESET = "ctr_reset"  # attacker wipes the monotonic counter
 
 #: The FaultPlan target consumed by the TCP front door.
 NET_TARGET = "net"
 
 _SHARD_KINDS = {KILL, CORRUPT}
 _NET_KINDS = {DELAY, DROP, CLOSE, TAMPER, REPLAY, DOWNGRADE}
+_DUR_KINDS = {TORN, TRUNCATE, IO_ERROR, CAPTURE, ROLLBACK, CTR_RESET}
 
 #: Net kinds that act on an established session's data frames.
 WIRE_KINDS = frozenset({TAMPER, REPLAY})
+
+#: Kinds the durability layer consumes (see repro.persist.durability).
+DURABILITY_KINDS = frozenset(_DUR_KINDS)
+
+#: Durability kinds safe inside a serving-phase chaos schedule: each is
+#: detected at the next commit and repaired from live state, so the
+#: zero-acked-write-loss invariant stays assertable.  ROLLBACK/CTR_RESET
+#: belong in downtime scenarios where recovery must *reject* the state.
+CHAOS_DUR_KINDS = (TORN, TRUNCATE, IO_ERROR)
+
+
+def dur_target(group_id: str) -> str:
+    """The FaultPlan target addressing a partition's durability sidecar."""
+    return f"{group_id}/dur"
 
 
 @dataclass(frozen=True)
@@ -83,7 +107,7 @@ class FaultEvent:
     seconds: float = 0.0    # DELAY: how long to stall the response
 
     def __post_init__(self):
-        if self.kind not in _SHARD_KINDS | _NET_KINDS:
+        if self.kind not in _SHARD_KINDS | _NET_KINDS | _DUR_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.at < 0:
             raise ValueError("fault trigger point must be >= 0")
@@ -92,11 +116,14 @@ class FaultEvent:
 class FaultPlan:
     """An immutable schedule of faults plus the fired-state bookkeeping."""
 
-    def __init__(self, events: Iterable[FaultEvent] = ()):
+    def __init__(self, events: Iterable[FaultEvent] = (), *, spec: str = ""):
         self._by_target: Dict[str, List[FaultEvent]] = {}
         for event in sorted(events, key=lambda e: (e.at, e.kind)):
             self._by_target.setdefault(event.target, []).append(event)
         self._fired: set = set()
+        #: How this plan was built (chaos() records its full argument list)
+        #: so a failing chaos run can name its schedule in the assertion.
+        self.spec = spec
 
     # -- fluent construction ------------------------------------------------------
 
@@ -133,6 +160,30 @@ class FaultPlan:
         """Answer the next v2 client hello with a plaintext rejection."""
         return self._add(FaultEvent(DOWNGRADE, target, at))
 
+    def torn(self, target: str, at: int) -> "FaultPlan":
+        """Tear the ``at``-th commit's append: half the record, then crash."""
+        return self._add(FaultEvent(TORN, target, at))
+
+    def truncate(self, target: str, at: int) -> "FaultPlan":
+        """Cut the partition's on-disk log in half at the ``at``-th commit."""
+        return self._add(FaultEvent(TRUNCATE, target, at))
+
+    def io_error(self, target: str, at: int) -> "FaultPlan":
+        """Fail the ``at``-th commit's write before any byte lands."""
+        return self._add(FaultEvent(IO_ERROR, target, at))
+
+    def capture(self, target: str, at: int) -> "FaultPlan":
+        """Attacker snapshots the untrusted disk at the ``at``-th commit."""
+        return self._add(FaultEvent(CAPTURE, target, at))
+
+    def rollback(self, target: str, at: int) -> "FaultPlan":
+        """Attacker restores the captured disk state (stale-state replay)."""
+        return self._add(FaultEvent(ROLLBACK, target, at))
+
+    def ctr_reset(self, target: str, at: int) -> "FaultPlan":
+        """Attacker wipes the partition's monotonic counter."""
+        return self._add(FaultEvent(CTR_RESET, target, at))
+
     # -- consumption --------------------------------------------------------------
 
     def events_for(self, target: str) -> List[FaultEvent]:
@@ -164,6 +215,43 @@ class FaultPlan:
     def __len__(self) -> int:
         return sum(len(v) for v in self._by_target.values())
 
+    # -- reproducibility ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """The plan, human-readably: spec line plus every event and its
+        fired state.  Chaos tests put this in their assertion messages so a
+        red CI run can be replayed locally without bisecting seeds."""
+        lines = [self.spec or f"FaultPlan({len(self)} events)"]
+        for target in sorted(self._by_target):
+            for event in self._by_target[target]:
+                fired = "fired" if id(event) in self._fired else "pending"
+                extra = ""
+                if event.key:
+                    extra += f" key={event.key.hex()}"
+                if event.seconds:
+                    extra += f" seconds={event.seconds}"
+                lines.append(f"  {event.kind:>9} @ {event.at:<6} "
+                             f"-> {target} [{fired}]{extra}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready form (the CI fault-plan artifact on failure)."""
+        return {
+            "spec": self.spec,
+            "fired": self.fired(),
+            "events": [
+                {
+                    "kind": e.kind,
+                    "target": e.target,
+                    "at": e.at,
+                    "key": e.key.hex(),
+                    "seconds": e.seconds,
+                    "fired": id(e) in self._fired,
+                }
+                for events in self._by_target.values() for e in events
+            ],
+        }
+
     # -- randomized-but-deterministic schedules -----------------------------------
 
     @classmethod
@@ -176,6 +264,9 @@ class FaultPlan:
         n_corrupts: int = 2,
         min_gap: int = 0,
         seed: int = 0,
+        dur_targets: Optional[List[str]] = None,
+        n_dur: int = 0,
+        dur_horizon: Optional[int] = None,
     ) -> "FaultPlan":
         """A seeded random kill/corrupt schedule over ``targets``.
 
@@ -185,6 +276,13 @@ class FaultPlan:
         chance to run before the next one lands — the chaos test's
         "killing any *single* replica" regime rather than a simultaneous
         multi-kill.  Same (targets, horizon, counts, seed) → same plan.
+
+        With ``dur_targets`` (each a :func:`dur_target` address) and
+        ``n_dur`` > 0, the schedule also draws durability faults from
+        :data:`CHAOS_DUR_KINDS` — torn appends, log truncation, commit I/O
+        errors — with trigger points in ``[1, dur_horizon)`` counted in
+        *commit attempts* (one per batch with acked writes, far fewer than
+        ops; default ``max(2, horizon // 16)``).
         """
         if not targets:
             raise ValueError("chaos needs at least one target")
@@ -200,7 +298,23 @@ class FaultPlan:
             FaultEvent(kind, rng.choice(targets), at)
             for kind, at in zip(kinds, sorted(points))
         ]
-        return cls(events)
+        if dur_targets and n_dur:
+            span = dur_horizon if dur_horizon is not None \
+                else max(2, horizon // 16)
+            for _ in range(n_dur):
+                events.append(FaultEvent(
+                    rng.choice(CHAOS_DUR_KINDS),
+                    rng.choice(dur_targets),
+                    rng.randrange(1, max(2, span)),
+                ))
+        spec = (f"FaultPlan.chaos(targets={targets!r}, horizon={horizon}, "
+                f"n_kills={n_kills}, n_corrupts={n_corrupts}, "
+                f"min_gap={min_gap}, seed={seed}")
+        if dur_targets and n_dur:
+            spec += (f", dur_targets={dur_targets!r}, n_dur={n_dur}, "
+                     f"dur_horizon={dur_horizon!r}")
+        spec += ")"
+        return cls(events, spec=spec)
 
 
 def plant_corruption(store, key: bytes = b"") -> bool:

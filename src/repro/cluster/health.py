@@ -25,15 +25,24 @@ attach it to the coordinator and it inspects the cluster every
 test or operations script.  With no live peer in a group, its dead
 replicas stay DOWN — an empty restarted enclave must never masquerade as
 a copy of data that no longer exists anywhere.
+
+Unless the group has a **durability sidecar** (:mod:`repro.persist`): then
+"no live peer" is no longer the end.  One restarted replica is rebuilt
+from the verified sealed snapshot + log replay — counter-checked, so a
+stale-state rollback or a wiped counter is *rejected* with
+:class:`~repro.errors.RollbackDetectedError` and the replicas keep
+waiting, exactly as an empty rejoin would have been rejected before.  On
+success the rebuilt replica rejoins UP, and its still-RECOVERING peers
+re-sync from it over the existing trusted path in the same round.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.cluster.replication import Replica, ReplicaGroup, ReplicaState
-from repro.errors import ShardCrashedError
+from repro.errors import DurabilityError, RecoveryError, ShardCrashedError
 
 DEFAULT_CHECK_EVERY = 512
 
@@ -51,6 +60,21 @@ class ResyncReport:
     restarted: bool
 
 
+@dataclass
+class RecoveryReport:
+    """One whole-partition rebuild from sealed storage: what and at what cost."""
+
+    group: str
+    replica: str
+    keys_restored: int
+    batches_replayed: int
+    epoch: int
+    counter: int
+    torn_bytes_trimmed: int
+    dur_cycles: float    # counter read + unseal/verify on the durability meter
+    dst_cycles: float    # re-sealed puts charged to the rebuilt replica
+
+
 class HealthMonitor:
     """Watches replica groups; restarts and re-syncs DOWN replicas."""
 
@@ -62,6 +86,8 @@ class HealthMonitor:
         self.check_every = check_every
         self.auto_restart = auto_restart
         self.history: List[ResyncReport] = []
+        self.recoveries: List[RecoveryReport] = []
+        self.recovery_failures: List[Tuple[str, DurabilityError]] = []
         self._ops_since_check = 0
 
     # -- driving ------------------------------------------------------------------
@@ -75,20 +101,38 @@ class HealthMonitor:
         return self.check()
 
     def check(self) -> List[ResyncReport]:
-        """One inspection round over every replica group."""
+        """One inspection round over every replica group.
+
+        Restart pass first; then, for a group with *no* live replica but a
+        durability sidecar, one restarted replica is rebuilt from sealed
+        storage (a typed failure — rollback detected, torn log under
+        strict mode, nothing recoverable — is recorded in
+        ``recovery_failures`` and the replicas stay non-UP); finally the
+        usual peer re-sync pass, which in the durable case copies from the
+        freshly rebuilt replica in the same round.
+        """
         reports: List[ResyncReport] = []
         for group in self._coordinator.shard_list():
             replicas = getattr(group, "replicas", None)
             if not replicas:
                 continue  # a plain, unreplicated shard: nothing to heal
+            restarted_ids = set()
             for replica in replicas:
-                restarted = False
                 if replica.state is ReplicaState.DOWN and self.auto_restart:
-                    restarted = self._restart(replica)
+                    if self._restart(replica):
+                        restarted_ids.add(id(replica))
+            if getattr(group, "durability", None) is not None \
+                    and group._first_live() is None:
+                try:
+                    self.recover_from_storage(group)
+                except DurabilityError as exc:
+                    self.recovery_failures.append((group.shard_id, exc))
+            for replica in replicas:
                 if replica.state is ReplicaState.RECOVERING:
                     report = self.resync(group, replica)
                     if report is not None:
-                        report.restarted = restarted or report.restarted
+                        report.restarted = (id(replica) in restarted_ids
+                                            or report.restarted)
                         reports.append(report)
         self.history.extend(reports)
         return reports
@@ -142,6 +186,61 @@ class HealthMonitor:
             restarted=False,
         )
 
+    def recover_from_storage(self, group: ReplicaGroup,
+                             replica: Optional[Replica] = None
+                             ) -> RecoveryReport:
+        """Rebuild one replica from the group's sealed snapshot + log.
+
+        Runs the full verified recovery — counter read, snapshot unseal,
+        chained log replay (torn tail trimmed), freshness check — and
+        loads the result into ``replica`` (default: the first RECOVERING
+        one) through metered, re-sealed puts, after which it rejoins UP.
+
+        Raises the typed :class:`~repro.errors.DurabilityError` family on
+        anything unacceptable: :class:`~repro.errors.RollbackDetectedError`
+        for stale state or a rewound counter,
+        :class:`~repro.errors.RecoveryError` when there is no durable
+        state, no candidate replica, or the candidate dies mid-rebuild.
+        The replicas stay non-UP in every failure case.
+        """
+        durability = getattr(group, "durability", None)
+        if durability is None:
+            raise RecoveryError(
+                f"{group.shard_id}: no durability attached; a group with "
+                "no live peer and no sealed state stays down")
+        if replica is None:
+            replica = next((r for r in group.replicas
+                            if r.state is ReplicaState.RECOVERING), None)
+        if replica is None:
+            raise RecoveryError(
+                f"{group.shard_id}: no restarted replica to rebuild into")
+        dur_before = durability.meter.cycles
+        state = durability.recover()
+        dst_before = replica.shard.meter.cycles
+        try:
+            store = replica.shard.store
+            for key, value in state.pairs.items():
+                store.put(key, value)
+        except ShardCrashedError as exc:
+            group.mark_down(replica, "crash")
+            raise RecoveryError(
+                f"{group.shard_id}: replica {replica.replica_id} died "
+                "during rebuild") from exc
+        replica.state = ReplicaState.UP
+        report = RecoveryReport(
+            group=group.shard_id,
+            replica=replica.replica_id,
+            keys_restored=len(state.pairs),
+            batches_replayed=state.batches_replayed,
+            epoch=state.epoch,
+            counter=state.counter,
+            torn_bytes_trimmed=state.torn_bytes_trimmed,
+            dur_cycles=durability.meter.cycles - dur_before,
+            dst_cycles=replica.shard.meter.cycles - dst_before,
+        )
+        self.recoveries.append(report)
+        return report
+
     # -- reporting ----------------------------------------------------------------
 
     def total_resyncs(self) -> int:
@@ -149,3 +248,6 @@ class HealthMonitor:
 
     def total_keys_resynced(self) -> int:
         return sum(r.keys_copied for r in self.history)
+
+    def total_recoveries(self) -> int:
+        return len(self.recoveries)

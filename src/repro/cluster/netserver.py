@@ -45,6 +45,7 @@ the same audiences.
 from __future__ import annotations
 
 import asyncio
+import errno
 import socket
 import struct
 import threading
@@ -163,12 +164,32 @@ class ClusterNetServer:
 
     # -- lifecycle ----------------------------------------------------------------
 
+    #: Bind attempts before giving up on an address already in use.  A
+    #: fixed port raced by a just-closed test server lingers in TIME_WAIT
+    #: briefly; bounded retry with a short backoff deflakes that without
+    #: masking a genuinely occupied port.
+    BIND_RETRIES = 5
+    BIND_RETRY_DELAY = 0.2
+
     async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting; returns the bound (host, port)."""
+        """Bind and start accepting; returns the bound (host, port).
+
+        Retries ``EADDRINUSE`` up to :data:`BIND_RETRIES` times (ephemeral
+        port 0 never collides, so in practice this only fires for fixed
+        ports); any other bind error surfaces immediately.
+        """
         self._stop_event = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port
-        )
+        for attempt in range(self.BIND_RETRIES):
+            try:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, self._host, self._port
+                )
+                break
+            except OSError as exc:
+                if exc.errno != errno.EADDRINUSE \
+                        or attempt == self.BIND_RETRIES - 1:
+                    raise
+                await asyncio.sleep(self.BIND_RETRY_DELAY * (attempt + 1))
         self._host, self._port = self._server.sockets[0].getsockname()[:2]
         return self._host, self._port
 

@@ -105,6 +105,12 @@ class ReplicaGroup:
         self.ops_routed = 0
         self.failovers = 0
         self.unavailable_requests = 0
+        #: Optional sealed-durability sidecar (repro.persist); when set,
+        #: every batch's acked writes are group-committed to it before the
+        #: responses leave this group.
+        self.durability = None
+        self.durability_failures = 0
+        self.durability_repairs = 0
         self._store = _GroupStore(self)
         self._meter = _GroupMeter(self)
 
@@ -197,7 +203,75 @@ class ReplicaGroup:
             alarmed_reads = [i for i in alarmed
                              if requests[i].opcode == OpCode.GET]
             self._failover_reads(alarmed_reads, requests, responses)
+
+        # 4. Group commit: exactly the writes about to be positively acked
+        #    are sealed into one durable log record.  A write that cannot
+        #    be made durable is not acked — its slot becomes UNAVAILABLE.
+        if self.durability is not None:
+            self._commit_durable(requests, write_positions, responses)
         return responses
+
+    def _commit_durable(self, requests: List[Request],
+                        write_positions: List[int],
+                        responses: List[Response]) -> None:
+        """Group-commit the batch's acked writes; un-ack them on failure.
+
+        Deletes that found no key (NOT_FOUND) changed no state and are not
+        logged.  On a :class:`~repro.errors.DurabilityError` the partition
+        repairs durability from its own live state — authoritative while
+        any replica is up — with a full snapshot, then retries once; if
+        that also fails, the affected writes are answered UNAVAILABLE so
+        the client never holds an ack the disk doesn't.
+        """
+        from repro.errors import DurabilityError
+
+        acked = [i for i in write_positions
+                 if responses[i].status == Status.OK]
+        if not acked:
+            return
+        batch = [requests[i] for i in acked]
+        try:
+            self.durability.commit(batch)
+            return
+        except DurabilityError:
+            pass
+        if self._repair_durability():
+            self.durability_repairs += 1
+            try:
+                self.durability.commit(batch)
+                return
+            except DurabilityError:
+                pass
+        self.durability_failures += len(acked)
+        self.unavailable_requests += len(acked)
+        for i in acked:
+            responses[i] = Response(
+                Status.UNAVAILABLE,
+                b"durability commit failed in " + self.shard_id.encode())
+
+    def _repair_durability(self) -> bool:
+        """Re-establish durability from live state with a full snapshot.
+
+        Covers every mid-run disk misadventure — a torn append, an
+        injected I/O error, truncation or rollback of the log while the
+        partition is alive: the primary's verified reads rebuild the full
+        pair set and :meth:`~repro.persist.durability.PartitionDurability
+        .snapshot` atomically replaces the on-disk state and resets the
+        chain.  Metered honestly on both sides (reads on the primary,
+        sealing on the durability meter).
+        """
+        from repro.errors import DurabilityError
+
+        primary = self._first_live()
+        if primary is None:
+            return False
+        try:
+            store = primary.shard.store
+            pairs = [(key, store.get(key)) for key in list(store.keys())]
+            self.durability.snapshot(pairs)
+            return True
+        except (DurabilityError, ShardCrashedError, IntegrityError):
+            return False
 
     def _failover_reads(self, positions: List[int],
                         requests: List[Request],
@@ -256,6 +330,31 @@ class ReplicaGroup:
             if close is not None:
                 close(timeout)
 
+    def _commit_single(self, request: Request) -> None:
+        """Durably log one trusted-path write (migration / direct put).
+
+        Same repair-then-retry policy as the batch hook, but there is no
+        response to un-ack here: a persistent failure surfaces as the
+        typed :class:`~repro.errors.DurabilityError` to the caller.
+        """
+        if self.durability is None:
+            return
+        from repro.errors import DurabilityError
+
+        try:
+            self.durability.commit([request])
+            return
+        except DurabilityError:
+            pass
+        if self._repair_durability():
+            self.durability_repairs += 1
+            self.durability.commit([request])
+            return
+        self.durability_failures += 1
+        raise DurabilityError(
+            f"durability commit failed in {self.shard_id} and live-state "
+            "repair was impossible")
+
     def stats(self) -> dict:
         primary = self._first_live() or self.replicas[0]
         row = primary.shard.stats()
@@ -264,6 +363,12 @@ class ReplicaGroup:
         row["replication"] = len(self.replicas)
         row["replicas_up"] = len(self.live_replicas())
         row["failovers"] = self.failovers
+        if self.durability is not None:
+            row["durability"] = dict(
+                self.durability.stats(),
+                failures=self.durability_failures,
+                repairs=self.durability_repairs,
+            )
         row["replicas"] = {
             r.replica_id: {"state": r.state.value, "downs": r.downs,
                            "reason": r.last_reason,
@@ -334,6 +439,7 @@ class _GroupStore:
         if not applied:
             raise ReplicaUnavailableError(
                 f"no live replica in {group.shard_id}")
+        group._commit_single(Request(OpCode.PUT, key, value))
 
     def delete(self, key: bytes) -> None:
         group = self._group
@@ -353,15 +459,24 @@ class _GroupStore:
                 f"no live replica in {group.shard_id}")
         if not deleted:
             raise KeyNotFoundError(key)
+        group._commit_single(Request(OpCode.DELETE, key))
 
     def load(self, pairs) -> None:
-        """Bulk-load every (non-crashed) replica — unmetered setup."""
+        """Bulk-load every (non-crashed) replica — unmetered setup.
+
+        With durability attached the load is committed too (chunked to the
+        protocol's batch cap): a preloaded key is as acked as a written
+        one, so it must survive whole-group death like any other.
+        """
         pairs = list(pairs)
         for replica in self._group.replicas:
             try:
                 replica.shard.store.load(pairs)
             except ShardCrashedError:  # pragma: no cover - load-time kill
                 self._group.mark_down(replica, "crash")
+        durability = self._group.durability
+        if durability is not None:
+            durability.commit_load(pairs)
 
     # -- plumbing -----------------------------------------------------------------
 

@@ -140,3 +140,48 @@ class ClusterConnectionError(AriaError, ConnectionError):
     ``ConnectionError`` so existing ``except ConnectionError`` handlers keep
     working.
     """
+
+
+class DurabilityError(AriaError):
+    """The sealed persistence layer failed: commit, verification, recovery.
+
+    Root of the durability branch (:mod:`repro.persist`).  A commit-time
+    ``DurabilityError`` means the batch was *not* made durable and must not
+    be acknowledged; a recovery-time one means the on-disk state could not
+    be turned back into a partition.
+    """
+
+
+class RollbackDetectedError(DurabilityError, IntegrityError):
+    """Recovered state is not fresh: the monotonic-counter binding failed.
+
+    The classic SGX persistence attack — replaying a stale-but-validly
+    sealed snapshot/log pair, truncating the log past an epoch boundary, or
+    resetting the counter service itself — leaves the recovered epoch out
+    of step with the non-volatile monotonic counter.  Inherits
+    :class:`IntegrityError` because rollback *is* an integrity violation on
+    the time axis, so existing ``except IntegrityError`` alarm handlers
+    catch it too.
+    """
+
+
+class TornLogError(DurabilityError):
+    """The write-ahead log ends in a partial record (crash mid-append).
+
+    Raised only when recovery is asked to be strict about the tail;
+    by default the torn suffix — which was never acknowledged, because
+    acks happen only after a complete group commit — is discarded and
+    recovery proceeds to the last complete record.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Whole-partition recovery could not complete (no usable sealed state)."""
+
+
+class DiskIOError(DurabilityError, OSError):
+    """The untrusted storage backend failed an I/O operation mid-commit.
+
+    Inherits ``OSError`` so callers treating storage failures generically
+    keep working; the batch being committed is not acknowledged.
+    """

@@ -1,0 +1,58 @@
+"""``repro.persist``: rollback-protected sealed durability.
+
+Acked writes survive the death of an entire replica group, and stale-state
+replay is *detected*, not assumed away:
+
+* :mod:`~repro.persist.disk` — untrusted storage backends: an in-memory
+  disk for tests, real files for ``python -m repro serve --durable``;
+* :mod:`~repro.persist.wal` — the sealed, MAC-chained write-ahead log
+  record format and its verifying replay;
+* :mod:`~repro.persist.durability` — :class:`PartitionDurability`: the
+  group-commit protocol, snapshot compaction, monotonic-counter epoch
+  binding (:mod:`repro.sgx.monotonic`), verified recovery, and the
+  durability fault surface (torn tails, truncation, rollback, counter
+  reset, I/O errors).
+
+See ARCHITECTURE §12 for the format, the commit protocol, and the
+recovery state machine.
+"""
+
+from repro.persist.disk import FileDisk, MemoryDisk, UntrustedDisk
+from repro.persist.durability import (
+    DEFAULT_EPOCH_EVERY,
+    PartitionDurability,
+    RecoveredState,
+    attach_cluster_durability,
+    attach_partition_durability,
+    restore_cluster_from_storage,
+    restore_group_from_storage,
+)
+from repro.persist.wal import (
+    LogRecord,
+    LogReplay,
+    RECORD_BATCH,
+    RECORD_EPOCH,
+    SealedLog,
+    anchor_mac,
+    replay,
+)
+
+__all__ = [
+    "DEFAULT_EPOCH_EVERY",
+    "FileDisk",
+    "LogRecord",
+    "LogReplay",
+    "MemoryDisk",
+    "PartitionDurability",
+    "RECORD_BATCH",
+    "RECORD_EPOCH",
+    "RecoveredState",
+    "SealedLog",
+    "UntrustedDisk",
+    "anchor_mac",
+    "attach_cluster_durability",
+    "attach_partition_durability",
+    "replay",
+    "restore_cluster_from_storage",
+    "restore_group_from_storage",
+]

@@ -1,0 +1,208 @@
+"""Untrusted storage backends for the durability layer.
+
+The disk is *outside* the trust boundary — exactly like untrusted memory in
+the paper's threat model, but persistent.  Everything written here is sealed
+first (:mod:`repro.persist.wal`); the disk's job is only to hold bytes and
+to model the failure repertoire of real storage faithfully:
+
+* :class:`MemoryDisk` — an in-process dict of named byte blobs.  The
+  default for tests: it survives enclave kills (it lives in the parent,
+  like any host filesystem would) but not process exit, and it supports
+  whole-state capture/restore so fault schedules can stage the classic
+  stale-state rollback attack deterministically.
+* :class:`FileDisk` — real files under a directory, for
+  ``python -m repro serve --durable --data-dir``.  Blob writes are atomic
+  (write-to-temp + ``os.replace``), appends are plain appends — the torn
+  tails a host crash can leave are the durability layer's problem to
+  detect, not the disk's to prevent.
+
+Both expose the same six-verb contract (read/write/append/size/truncate/
+delete) plus capture/restore, so every fault-injection and recovery test
+runs identically against either.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.errors import DiskIOError
+
+
+class UntrustedDisk:
+    """Interface: named byte blobs with append and truncate."""
+
+    name = "abstract"
+
+    def read_blob(self, name: str) -> Optional[bytes]:
+        """The blob's bytes, or None if it does not exist."""
+        raise NotImplementedError
+
+    def write_blob(self, name: str, data: bytes) -> None:
+        """Atomically replace the blob's contents."""
+        raise NotImplementedError
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append bytes to the blob (created empty if missing)."""
+        raise NotImplementedError
+
+    def size(self, name: str) -> int:
+        """Current byte length of the blob (0 if missing)."""
+        raise NotImplementedError
+
+    def truncate(self, name: str, length: int) -> None:
+        """Cut the blob down to ``length`` bytes (no-op if already shorter)."""
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove the blob if present."""
+        raise NotImplementedError
+
+    # -- the attacker's verbs -----------------------------------------------------
+
+    def capture(self) -> object:
+        """Snapshot the disk's entire state (the rollback attack, step 1)."""
+        raise NotImplementedError
+
+    def restore(self, token: object) -> None:
+        """Restore a captured state wholesale (the rollback attack, step 2)."""
+        raise NotImplementedError
+
+
+class MemoryDisk(UntrustedDisk):
+    """Untrusted storage as a dict of bytearrays (test default)."""
+
+    name = "memory"
+
+    def __init__(self):
+        self._blobs: Dict[str, bytearray] = {}
+
+    def read_blob(self, name: str) -> Optional[bytes]:
+        blob = self._blobs.get(name)
+        return None if blob is None else bytes(blob)
+
+    def write_blob(self, name: str, data: bytes) -> None:
+        self._blobs[name] = bytearray(data)
+
+    def append(self, name: str, data: bytes) -> None:
+        self._blobs.setdefault(name, bytearray()).extend(data)
+
+    def size(self, name: str) -> int:
+        blob = self._blobs.get(name)
+        return 0 if blob is None else len(blob)
+
+    def truncate(self, name: str, length: int) -> None:
+        blob = self._blobs.get(name)
+        if blob is not None and len(blob) > length:
+            del blob[length:]
+
+    def delete(self, name: str) -> None:
+        self._blobs.pop(name, None)
+
+    def capture(self) -> object:
+        return {name: bytes(blob) for name, blob in self._blobs.items()}
+
+    def restore(self, token: object) -> None:
+        self._blobs = {name: bytearray(blob)
+                       for name, blob in dict(token).items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(len(b) for b in self._blobs.values())
+        return f"MemoryDisk({len(self._blobs)} blobs, {total} B)"
+
+
+class FileDisk(UntrustedDisk):
+    """Untrusted storage as real files under one directory."""
+
+    name = "file"
+
+    def __init__(self, root: str):
+        self.root = root
+        try:
+            os.makedirs(root, exist_ok=True)
+        except OSError as exc:  # pragma: no cover - host permission issue
+            raise DiskIOError(f"cannot create data dir {root!r}: {exc}") \
+                from exc
+
+    def _path(self, name: str) -> str:
+        # Blob names are internal (partition ids + fixed suffixes), but
+        # keep path traversal impossible anyway: flatten separators.
+        return os.path.join(self.root, name.replace("/", "_"))
+
+    def read_blob(self, name: str) -> Optional[bytes]:
+        try:
+            with open(self._path(name), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise DiskIOError(f"read {name!r} failed: {exc}") from exc
+
+    def write_blob(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise DiskIOError(f"write {name!r} failed: {exc}") from exc
+
+    def append(self, name: str, data: bytes) -> None:
+        try:
+            with open(self._path(name), "ab") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise DiskIOError(f"append {name!r} failed: {exc}") from exc
+
+    def size(self, name: str) -> int:
+        try:
+            return os.path.getsize(self._path(name))
+        except FileNotFoundError:
+            return 0
+        except OSError as exc:
+            raise DiskIOError(f"stat {name!r} failed: {exc}") from exc
+
+    def truncate(self, name: str, length: int) -> None:
+        path = self._path(name)
+        try:
+            if os.path.getsize(path) > length:
+                with open(path, "r+b") as fh:
+                    fh.truncate(length)
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise DiskIOError(f"truncate {name!r} failed: {exc}") from exc
+
+    def delete(self, name: str) -> None:
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise DiskIOError(f"delete {name!r} failed: {exc}") from exc
+
+    def capture(self) -> object:
+        state = {}
+        for entry in os.listdir(self.root):
+            if entry.endswith(".tmp"):
+                continue
+            with open(os.path.join(self.root, entry), "rb") as fh:
+                state[entry] = fh.read()
+        return state
+
+    def restore(self, token: object) -> None:
+        state = dict(token)
+        for entry in os.listdir(self.root):
+            if entry not in state and not entry.endswith(".tmp"):
+                os.remove(os.path.join(self.root, entry))
+        for entry, data in state.items():
+            with open(os.path.join(self.root, entry), "wb") as fh:
+                fh.write(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileDisk({self.root!r})"

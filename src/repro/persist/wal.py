@@ -1,0 +1,195 @@
+"""The sealed, MAC-chained write-ahead log format.
+
+Every group-committed batch becomes one *record* on the untrusted disk:
+
+``u32 LE length | sealed blob``
+
+where the sealed blob (:func:`repro.sgx.sealing.seal`: nonce + AES-CTR
+ciphertext + CMAC) protects a payload of
+
+``b"ALOG" | kind(1) | epoch(u64) | seq(u64) | prev_mac(16) | body``
+
+* ``kind`` — :data:`RECORD_BATCH` (body = ``protocol.encode_batch`` of the
+  acked write requests) or :data:`RECORD_EPOCH` (body empty; the record
+  marks a monotonic-counter increment);
+* ``seq`` — dense per-log sequence number, so a record removed from the
+  middle is noticed even before the MAC chain is checked;
+* ``prev_mac`` — the CMAC (last 16 bytes) of the *previous* record's sealed
+  blob; the first record after a log reset chains to an anchor MAC derived
+  from the sealing key and the snapshot's epoch.  Records therefore form a
+  hash chain rooted in the snapshot: reordering, splicing a record from a
+  different log (or a different epoch of the same log), or editing any
+  middle record breaks the chain.
+
+What the chain alone cannot give is *freshness of the tail*: cutting the
+log at a record boundary leaves a perfectly valid prefix.  That is the
+monotonic counter's job — :class:`~repro.persist.durability
+.PartitionDurability` increments the counter and appends a
+``RECORD_EPOCH`` every ``epoch_every`` commits, so a cut that crosses an
+epoch boundary makes the recovered epoch fall behind the counter and fails
+with :class:`~repro.errors.RollbackDetectedError`.  A cut *mid-record* — a
+torn tail from a host crash — is detected structurally and trimmed: it was
+never acknowledged, because acks happen only after a complete append.
+
+This module is a pure codec: no I/O, no metering.  The durability layer
+owns the disk, the counter, and the cycle charges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import List
+
+from repro.crypto.backend import CryptoBackend
+from repro.errors import IntegrityError, TornLogError
+from repro.sgx.sealing import seal, unseal
+
+RECORD_BATCH = 1
+RECORD_EPOCH = 2
+
+_MAGIC = b"ALOG"
+_LEN = struct.Struct("<I")
+_HEADER = struct.Struct("<4sBQQ16s")  # magic, kind, epoch, seq, prev_mac
+_MAC_SIZE = 16
+
+#: Sealed-payload bytes beyond the body (the record header).
+PAYLOAD_OVERHEAD = _HEADER.size
+#: On-disk bytes beyond the body: length prefix + seal framing + header.
+FRAMED_OVERHEAD = _LEN.size + 4 + 16 + _HEADER.size + _MAC_SIZE
+
+
+def anchor_mac(sealing_key: bytes, epoch: int) -> bytes:
+    """The chain anchor a log reset at ``epoch`` starts from.
+
+    Keyed by the sealing key so an attacker cannot forge a plausible
+    anchor, and bound to the epoch so a log cannot be grafted onto a
+    snapshot from a different epoch.
+    """
+    return hashlib.blake2b(
+        b"aria-log-anchor" + epoch.to_bytes(8, "little"),
+        key=sealing_key,
+        digest_size=_MAC_SIZE,
+    ).digest()
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One verified record out of a replay."""
+
+    kind: int
+    epoch: int
+    seq: int
+    body: bytes
+
+
+@dataclass
+class LogReplay:
+    """The outcome of scanning a log blob: verified prefix + tail triage."""
+
+    records: List[LogRecord]
+    valid_bytes: int     # byte length of the verified prefix
+    torn_bytes: int      # trailing bytes that do not form a complete record
+    last_epoch: int      # epoch after applying every EPOCH record
+    next_seq: int        # the seq the next appended record must carry
+    tail_mac: bytes      # chain state for resuming appends after recovery
+
+
+class SealedLog:
+    """Writer-side chain state plus the record codec for one log."""
+
+    def __init__(self, backend: CryptoBackend, sealing_key: bytes):
+        self._backend = backend
+        self._key = sealing_key
+        self.seq = 0
+        self.prev_mac = anchor_mac(sealing_key, 0)
+
+    def reset(self, epoch: int) -> None:
+        """Start a fresh chain anchored at ``epoch`` (after a snapshot)."""
+        self.seq = 0
+        self.prev_mac = anchor_mac(self._key, epoch)
+
+    def resume(self, replay: LogReplay) -> None:
+        """Adopt the chain state a recovery scan ended at."""
+        self.seq = replay.next_seq
+        self.prev_mac = replay.tail_mac
+
+    def encode_record(self, kind: int, epoch: int, body: bytes) -> bytes:
+        """Seal and frame one record using the current chain state.
+
+        Does **not** advance the chain — call :meth:`advance` with the
+        returned bytes once (and only once) the append has landed, so a
+        failed disk write leaves the writer consistent with the disk.
+        """
+        payload = _HEADER.pack(_MAGIC, kind, epoch, self.seq, self.prev_mac) \
+            + body
+        sealed = seal(self._backend, self._key, payload)
+        return _LEN.pack(len(sealed)) + sealed
+
+    def advance(self, framed: bytes) -> None:
+        self.seq += 1
+        self.prev_mac = framed[-_MAC_SIZE:]
+
+
+def replay(backend: CryptoBackend, sealing_key: bytes, blob: bytes,
+           anchor_epoch: int, *, strict_tail: bool = False) -> LogReplay:
+    """Scan a log blob, verifying the seal + chain of every record.
+
+    Raises :class:`~repro.errors.IntegrityError` on any *complete* record
+    that fails its MAC, chain link, sequence, or epoch discipline — that is
+    tampering, not a crash artifact.  A trailing partial record is a torn
+    tail: trimmed and reported by default, a
+    :class:`~repro.errors.TornLogError` under ``strict_tail``.
+    """
+    records: List[LogRecord] = []
+    prev_mac = anchor_mac(sealing_key, anchor_epoch)
+    epoch = anchor_epoch
+    seq = 0
+    offset = 0
+    valid = 0
+    while True:
+        remaining = len(blob) - offset
+        if remaining == 0:
+            break
+        if remaining < _LEN.size:
+            break  # torn: not even a length prefix
+        (length,) = _LEN.unpack_from(blob, offset)
+        if remaining - _LEN.size < length:
+            break  # torn: the record's bytes end mid-air
+        sealed = blob[offset + _LEN.size : offset + _LEN.size + length]
+        payload = unseal(backend, sealing_key, sealed)  # IntegrityError on MAC
+        if len(payload) < _HEADER.size:
+            raise IntegrityError("log record payload too short")
+        magic, kind, rec_epoch, rec_seq, rec_prev = \
+            _HEADER.unpack_from(payload, 0)
+        if magic != _MAGIC:
+            raise IntegrityError("log record magic mismatch")
+        if kind not in (RECORD_BATCH, RECORD_EPOCH):
+            raise IntegrityError(f"unknown log record kind {kind}")
+        if rec_seq != seq:
+            raise IntegrityError(
+                f"log sequence broken: expected {seq}, found {rec_seq}")
+        if rec_prev != prev_mac:
+            raise IntegrityError(
+                "log chain broken: record does not extend its predecessor")
+        if kind == RECORD_EPOCH:
+            if rec_epoch <= epoch:
+                raise IntegrityError(
+                    f"epoch record did not advance ({epoch} -> {rec_epoch})")
+            epoch = rec_epoch
+        elif rec_epoch != epoch:
+            raise IntegrityError(
+                f"batch record carries epoch {rec_epoch}, log is at {epoch}")
+        records.append(LogRecord(kind=kind, epoch=rec_epoch, seq=rec_seq,
+                                 body=payload[_HEADER.size:]))
+        prev_mac = sealed[-_MAC_SIZE:]
+        seq += 1
+        offset += _LEN.size + length
+        valid = offset
+    torn = len(blob) - valid
+    if torn and strict_tail:
+        raise TornLogError(
+            f"log ends in {torn} torn byte(s) past the last complete record")
+    return LogReplay(records=records, valid_bytes=valid, torn_bytes=torn,
+                     last_epoch=epoch, next_seq=seq, tail_mac=prev_mac)

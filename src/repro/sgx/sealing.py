@@ -10,11 +10,14 @@ This module models that: the sealing key is derived deterministically from
 the enclave's session keys (our stand-in for platform+identity), and sealed
 blobs are AES-CTR-encrypted with a random nonce and CMAC-authenticated.
 
-Limitations faithfully modeled: sealing gives confidentiality and integrity
-but **not rollback protection** — an attacker who snapshots both the sealed
-blob and untrusted memory can restore the pair wholesale (real deployments
-add monotonic counters for this; see ``tests/test_sealing.py`` for the
-demonstration).
+Sealing alone gives confidentiality and integrity but **not freshness**: an
+attacker who snapshots both the sealed blob and untrusted memory can restore
+the pair wholesale (``tests/test_sealing.py`` demonstrates the raw replay).
+Rollback protection is layered on top, exactly as real deployments do it:
+:mod:`repro.persist` binds every sealed snapshot and log epoch to a
+non-volatile monotonic counter (:mod:`repro.sgx.monotonic`), so replaying a
+stale-but-validly-sealed copy fails recovery with a typed
+:class:`~repro.errors.RollbackDetectedError` instead of going undetected.
 """
 
 from __future__ import annotations

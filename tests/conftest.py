@@ -17,7 +17,9 @@ workers rather than failing on them — and then asserts that reaping
 actually worked: no stray child processes may survive a test.
 """
 
+import json
 import multiprocessing
+import os
 
 import pytest
 
@@ -30,6 +32,7 @@ _BACKEND_MODULES = {
     "test_cluster",
     "test_cluster_faults",
     "test_cluster_replication",
+    "test_durability_recovery",
     "test_netserver",
     "test_wire_session",
 }
@@ -64,3 +67,44 @@ def cluster_backend(request):
             f"worker processes survived reaping: {strays} "
             f"(reaped handles for shards {leaked})"
         )
+
+
+# -- chaos reproducibility ---------------------------------------------------------
+#
+# Chaos tests register their FaultPlan through ``fault_record``; when such a
+# test fails, the hook below dumps every registered plan — seed, spec, each
+# event and its fired state — as JSON under $ARIA_FAULT_ARTIFACTS (default
+# ``fault-artifacts/``).  CI uploads that directory on failure, so a red run
+# carries its exact schedule home instead of asking anyone to bisect seeds.
+
+
+@pytest.fixture()
+def fault_record(request):
+    """Register FaultPlans for artifact capture if this test fails."""
+    plans = []
+    request.node._fault_plans = plans
+
+    def record(plan):
+        plans.append(plan)
+        return plan
+
+    return record
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    plans = getattr(item, "_fault_plans", None)
+    if report.when != "call" or not report.failed or not plans:
+        return
+    out_dir = os.environ.get("ARIA_FAULT_ARTIFACTS", "fault-artifacts")
+    os.makedirs(out_dir, exist_ok=True)
+    safe = (item.nodeid.replace("/", "_").replace("::", ".")
+            .replace("[", "-").replace("]", ""))
+    path = os.path.join(out_dir, safe + ".json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"test": item.nodeid,
+             "plans": [plan.to_dict() for plan in plans]},
+            fh, indent=2)

@@ -291,14 +291,15 @@ class TestChaos:
         weights = [1.0 / (rank ** s) for rank in range(1, n_keys + 1)]
         return rng.choices(range(n_keys), weights=weights, k=n_ops)
 
-    def test_single_replica_kills_lose_no_acknowledged_write(self):
+    def test_single_replica_kills_lose_no_acknowledged_write(self, fault_record):
         # Triggers count each *replica's own* flushed ops: a group's
         # primary sees every routed request, a secondary only the writes,
         # so keep the horizon well under OPS / n_shards and drive extra
         # rounds until the whole schedule has fired.
         targets = [f"shard-{i}/r{j}" for i in range(2) for j in range(2)]
-        plan = FaultPlan.chaos(targets, horizon=150, n_kills=2,
-                               n_corrupts=2, min_gap=150, seed=42)
+        plan = fault_record(FaultPlan.chaos(targets, horizon=150, n_kills=2,
+                                            n_corrupts=2, min_gap=150,
+                                            seed=42))
         coord = build_replicated_cluster(2, replication=2,
                                          n_keys=self.N_KEYS, scale=2048,
                                          batch_window=8, fault_plan=plan)
@@ -332,14 +333,17 @@ class TestChaos:
                 # all keys were preloaded).
                 assert response is not None
                 assert response.status == STATUS_OK, (
-                    f"{key}: status {response.status} {response.value!r}")
+                    f"{key}: status {response.status} {response.value!r}\n"
+                    f"{plan.describe()}")
                 if value is not None and response.status == STATUS_OK:
                     acked[key] = value
 
-        assert plan.fired() == len(plan) == 4  # the schedule all fired...
+        assert plan.fired() == len(plan) == 4, \
+            plan.describe()  # the schedule all fired...
         downs = sum(r.downs for g in coord.shard_list()
                     for r in g.replicas)
-        assert downs >= 1, "chaos plan never took a replica down"
+        assert downs >= 1, \
+            f"chaos plan never took a replica down\n{plan.describe()}"
         # ...and recovery ran: every down replica was restarted and
         # re-synced through the metered, re-sealed trusted path.
         monitor.check()
@@ -350,8 +354,9 @@ class TestChaos:
         for group in coord.shard_list():
             for replica in group.replicas:
                 assert replica.state is ReplicaState.UP, (
-                    f"{replica.replica_id} never rejoined")
+                    f"{replica.replica_id} never rejoined\n{plan.describe()}")
 
         # The bar: every acknowledged write is still readable.
         for key, value in acked.items():
-            assert coord.get(key) == value, f"lost acked write on {key}"
+            assert coord.get(key) == value, (
+                f"lost acked write on {key}\n{plan.describe()}")

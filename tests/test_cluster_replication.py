@@ -283,6 +283,11 @@ class TestHealthMonitor:
         assert monitor.total_keys_resynced() == 8
 
     def test_no_live_peer_means_no_resync(self):
+        # The pre-durability baseline: with every replica of a partition
+        # dead and no sealed state to recover from, the group must stay
+        # unavailable forever rather than rejoin an empty enclave.  The
+        # durable path (repro.persist + test_durability_recovery) is the
+        # *only* sanctioned way out of this state.
         coord = build_replicated_cluster(1, replication=1, n_keys=64,
                                          scale=2048)
         coord.load([(b"k", b"v")])
@@ -296,6 +301,17 @@ class TestHealthMonitor:
         # enclave must not masquerade as the data's last copy.
         assert reports == []
         assert group.replicas[0].state is ReplicaState.RECOVERING
+        # Batched reads surface UNAVAILABLE, never NOT_FOUND — the data is
+        # unreachable, not absent.
+        [response] = coord.execute([protocol.get(b"k")])
+        assert response.status == STATUS_UNAVAILABLE
+        # And no amount of re-checking changes the verdict: the replica
+        # waits in RECOVERING, serving nothing, losing nothing.
+        for _ in range(3):
+            assert monitor.check() == []
+        assert group.replicas[0].state is ReplicaState.RECOVERING
+        assert monitor.total_resyncs() == 0
+        assert monitor.total_recoveries() == 0
 
     def test_integrity_quarantine_heals_back_to_up(self):
         plan = FaultPlan().corrupt("shard-0/r0", at=2, key=b"k00")

@@ -174,6 +174,46 @@ class TestLifecycle:
         with pytest.raises(OSError):
             socket.create_connection((host, port), timeout=1.0)
 
+    def test_bind_retries_until_the_port_frees_up(self, cluster,
+                                                  monkeypatch):
+        # A restart race: the old process still holds the port when the
+        # new one binds.  The server must retry EADDRINUSE (bounded), not
+        # die on the first attempt.
+        from repro.cluster.netserver import ClusterNetServer
+        monkeypatch.setattr(ClusterNetServer, "BIND_RETRY_DELAY", 0.05)
+        squatter = socket.socket()
+        squatter.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        squatter.bind(("127.0.0.1", 0))
+        squatter.listen(1)
+        port = squatter.getsockname()[1]
+
+        import threading
+        threading.Timer(0.12, squatter.close).start()
+        background = BackgroundServer(cluster, port=port)
+        try:
+            host, bound_port = background.start()
+            assert bound_port == port
+            with ClusterClient(host, bound_port) as client:
+                assert client.get(b"key-001").value == b"val-001"
+        finally:
+            background.stop()
+
+    def test_bind_gives_up_after_bounded_retries(self, cluster,
+                                                 monkeypatch):
+        from repro.cluster.netserver import ClusterNetServer
+        monkeypatch.setattr(ClusterNetServer, "BIND_RETRY_DELAY", 0.01)
+        squatter = socket.socket()
+        squatter.bind(("127.0.0.1", 0))
+        squatter.listen(1)
+        port = squatter.getsockname()[1]
+        try:
+            background = BackgroundServer(cluster, port=port)
+            with pytest.raises(RuntimeError) as excinfo:
+                background.start()
+            assert isinstance(excinfo.value.__cause__, OSError)
+        finally:
+            squatter.close()
+
     def test_max_requests_limit_stops_server(self, cluster):
         with BackgroundServer(cluster, max_requests=2) as background:
             host, port = background.server.address

@@ -413,12 +413,13 @@ class TestWireFaults:
                     c.put(b"unacked", b"value")
                 assert c.retried_reads == 0
 
-    def test_chaos_gauntlet_loses_no_acked_writes(self, cluster):
-        plan = (FaultPlan()
-                .tamper(at=2)
-                .replay(at=4)
-                .downgrade(at=5)
-                .tamper(at=6))
+    def test_chaos_gauntlet_loses_no_acked_writes(self, cluster,
+                                                   fault_record):
+        plan = fault_record(FaultPlan()
+                            .tamper(at=2)
+                            .replay(at=4)
+                            .downgrade(at=5)
+                            .tamper(at=6))
         with BackgroundServer(cluster, fault_plan=plan) as background:
             host, port = background.server.address
             client = ClusterClient.connect(host, port, retries=0)
@@ -445,10 +446,11 @@ class TestWireFaults:
                                     seen.add(type(hs).__name__)
                 # Every acknowledged write must be readable afterwards.
                 for key, value in acked.items():
-                    assert client.get(key).value == value
+                    assert client.get(key).value == value, (
+                        f"lost acked write on {key}\n{plan.describe()}")
             finally:
                 client.close()
-            assert len(acked) == 10
+            assert len(acked) == 10, plan.describe()
             assert background.server.tamper_injections == 2
             assert background.server.replay_injections == 1
             assert background.server.downgrade_injections == 1
