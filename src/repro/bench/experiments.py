@@ -1202,6 +1202,98 @@ def cluster_wire_overhead(scale: int = 2048, n_ops: int = 2000,
     return result
 
 
+def cluster_socket_backend(scale: int = 2048, n_ops: int = 2000,
+                           n_shards: int = 2, n_hosts: int = 2,
+                           batch_window: int = 32) -> ExperimentResult:
+    """Row S1: what the multi-host shard hop costs — and what it doesn't.
+
+    Runs the *same* seeded RD90 stream through ``build_cluster`` three
+    ways — shards inline, shards in OS worker processes behind pipes,
+    and shards in shard-host processes reachable only over attested
+    AES-CTR+CMAC TCP sessions (the ``socket`` backend) — and prices the
+    hop separately from the enclaves:
+
+    * ``hop_handshake_cycles`` — the coordinator's one-time session setup
+      per shard link (attested handshake + the sealed spawn RPC), summed
+      over links;
+    * ``hop_cycles_per_op`` — the handle-side steady-state AEAD work
+      (seal request + open reply per RPC), measured over the serving
+      phase only and charged to the per-link ``wire_meter``, never the
+      shard meter;
+    * ``cycles_sum`` / ``throughput ops/s`` / ``responses_sha256`` — the
+      enclaves' own simulated work and outputs, which the transport must
+      not change: these columns are asserted identical across all three
+      backends (absolute meter snapshots cross the wire, so no drift);
+    * ``wall_s`` — real host seconds for the serving phase, reported but
+      never asserted, showing what TCP round-trips plus AEAD cost the
+      host relative to pipes.
+    """
+    import hashlib
+    import time
+
+    from repro.cluster import SocketBackend, build_cluster
+    from repro.server.protocol import encode_batch_responses
+
+    result = ExperimentResult(
+        exp_id="Cluster S1",
+        title="Socket backend overhead: attested multi-host shard hop "
+              "vs inline and OS-process workers (uniform RD90, 16B)",
+        columns=["backend", "throughput ops/s", "cycles_sum",
+                 "hop_handshake_cycles", "hop_cycles_per_op",
+                 "responses_sha256", "wall_s"],
+    )
+    n_keys = scaled_keys(scale)
+    workload = YcsbWorkload(n_keys=n_keys, read_ratio=0.9, value_size=16,
+                            distribution="uniform")
+    # One materialized stream for every backend: equivalence demands the
+    # same requests everywhere.
+    requests = _as_requests(workload.operations(n_ops))
+
+    def hop_cycles(coordinator) -> float:
+        return sum(getattr(shard, "wire_meter").cycles
+                   for shard in coordinator.shard_list()
+                   if hasattr(shard, "wire_meter"))
+
+    for backend in ("inline", "process", "socket"):
+        backend_arg = (SocketBackend(n_hosts=n_hosts, seed=1)
+                       if backend == "socket" else backend)
+        coordinator = build_cluster(n_shards, n_keys=n_keys, scale=scale,
+                                    batch_window=batch_window,
+                                    backend=backend_arg)
+        try:
+            # Everything the hop spent so far is session setup: the
+            # attested handshake plus the sealed spawn RPC, per link.
+            handshake = hop_cycles(coordinator)
+            coordinator.load(workload.load_items())
+            stats = coordinator.stats()
+            hop_before = hop_cycles(coordinator)
+            digest = hashlib.sha256()
+            started = time.perf_counter()
+            for start in range(0, len(requests), 256):
+                responses = coordinator.execute(requests[start:start + 256])
+                digest.update(encode_batch_responses(responses))
+            wall = time.perf_counter() - started
+            hop_cpo = (hop_cycles(coordinator) - hop_before) / n_ops
+            report = stats.report()["cluster"]
+            result.add_row(
+                backend=backend,
+                **{"throughput ops/s": report["aggregate_throughput"]},
+                cycles_sum=round(report["cycles_sum"], 1),
+                hop_handshake_cycles=round(handshake, 1),
+                hop_cycles_per_op=round(hop_cpo, 1),
+                responses_sha256=digest.hexdigest()[:16],
+                wall_s=round(wall, 3),
+            )
+        finally:
+            coordinator.close()
+    result.note(f"scale 1/{scale}: {n_keys} keys, {n_shards} shards over "
+                f"{n_hosts} shard hosts, batch window {batch_window}; "
+                "enclave columns must match exactly across backends, hop "
+                "crypto is charged per link off the shard meters, wall_s "
+                "is host time")
+    return result
+
+
 def cluster_durability(scale: int = 2048, n_ops: int = 2000,
                        n_shards: int = 2,
                        batch_window: int = 32) -> ExperimentResult:
@@ -1336,5 +1428,6 @@ ALL_EXPERIMENTS = {
     "cluster_replication": cluster_replication,
     "cluster_process_backend": cluster_process_backend,
     "cluster_wire_overhead": cluster_wire_overhead,
+    "cluster_socket_backend": cluster_socket_backend,
     "cluster_durability": cluster_durability,
 }

@@ -8,6 +8,7 @@ Commands:
 * ``attack``    — stage every threat-model attack and report detection.
 * ``inspect``   — show how a store would be sized at a given scale.
 * ``serve``     — run the sharded cluster's asyncio TCP server.
+* ``shard-host``— run one shard-host process for the socket backend.
 """
 
 from __future__ import annotations
@@ -199,29 +200,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("--durable needs --data-dir (where the sealed snapshot/log "
               "files live)", file=sys.stderr)
         return 2
-    if args.durable or args.replication > 1:
-        coordinator = build_replicated_cluster(
-            args.shards,
-            replication=args.replication,
-            n_keys=args.keys,
-            scale=args.scale,
-            index=args.index,
-            vnodes=args.vnodes,
-            batch_window=args.batch_window,
-            seed=args.seed,
-            backend=args.backend,
-        )
-    else:
-        coordinator = build_cluster(
-            args.shards,
-            n_keys=args.keys,
-            scale=args.scale,
-            index=args.index,
-            vnodes=args.vnodes,
-            batch_window=args.batch_window,
-            seed=args.seed,
-            backend=args.backend,
-        )
+    if (args.shard_hosts or args.shard_measurements) \
+            and args.backend != "socket":
+        print("--shard-hosts/--shard-measurements need --backend socket",
+              file=sys.stderr)
+        return 2
+    backend = args.backend
+    if args.backend == "socket" and (args.shard_hosts
+                                     or args.shard_measurements):
+        from repro.cluster import SocketBackend
+
+        backend = SocketBackend(hosts=args.shard_hosts,
+                                expected_measurements=args.shard_measurements,
+                                seed=args.seed)
+    from repro.errors import (
+        ClusterConnectionError,
+        ClusterTimeoutError,
+        HandshakeError,
+    )
+
+    try:
+        if args.durable or args.replication > 1:
+            coordinator = build_replicated_cluster(
+                args.shards,
+                replication=args.replication,
+                n_keys=args.keys,
+                scale=args.scale,
+                index=args.index,
+                vnodes=args.vnodes,
+                batch_window=args.batch_window,
+                seed=args.seed,
+                backend=backend,
+            )
+        else:
+            coordinator = build_cluster(
+                args.shards,
+                n_keys=args.keys,
+                scale=args.scale,
+                index=args.index,
+                vnodes=args.vnodes,
+                batch_window=args.batch_window,
+                seed=args.seed,
+                backend=backend,
+            )
+    except (HandshakeError, ClusterConnectionError,
+            ClusterTimeoutError) as exc:
+        # A shard host that is down, mis-attested, or downgraded is a
+        # refusal to serve, not a crash: surface it and stop.
+        print(f"refusing to serve: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 3
     restored = {}
     if args.durable:
         from repro.errors import DurabilityError
@@ -319,6 +347,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_host(args: argparse.Namespace) -> int:
+    from repro.cluster import run_shard_host
+
+    if args.max_conns is not None and args.max_conns < 1:
+        print("--max-conns must be at least 1", file=sys.stderr)
+        return 1
+    try:
+        run_shard_host(host=args.host, port=args.port, seed=args.seed,
+                       crypto=args.crypto, max_conns=args.max_conns)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -369,9 +411,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-window", type=int, default=32)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--backend", default="inline",
-                       choices=["inline", "process"],
+                       choices=["inline", "process", "socket"],
                        help="where shard enclaves run: in this process "
-                            "(inline) or one OS process each (process)")
+                            "(inline), one OS process each (process), or "
+                            "in shard-host processes over attested TCP "
+                            "(socket)")
+    serve.add_argument("--shard-hosts", default=None,
+                       help="socket backend only: comma-separated "
+                            "host:port list of running shard-hosts "
+                            "(default: spawn local hosts)")
+    serve.add_argument("--shard-measurements", default=None,
+                       help="socket backend only: comma-separated hex "
+                            "measurements the shard-hosts must attest to "
+                            "(default: trust on first use)")
     serve.add_argument("--no-balance", dest="balance", action="store_false",
                        help="disable the hot-shard balancer")
     serve.add_argument("--max-requests", type=int, default=None,
@@ -399,6 +451,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="v2 sessions only: reject plaintext frames "
                             "(default policy accepts both)")
     serve.set_defaults(func=_cmd_serve)
+
+    shard_host = sub.add_parser(
+        "shard-host",
+        help="run one shard-host process (socket backend): serves shard "
+             "enclaves over attested, encrypted TCP sessions")
+    shard_host.add_argument("--host", default="127.0.0.1")
+    shard_host.add_argument("--port", type=int, default=0,
+                            help="0 picks an ephemeral port (printed)")
+    shard_host.add_argument("--seed", type=int, default=0,
+                            help="derives the host's key material, hence "
+                                 "the measurement coordinators pin")
+    shard_host.add_argument("--crypto", default="fast",
+                            choices=["fast", "real"])
+    shard_host.add_argument("--max-conns", type=int, default=None,
+                            help="stop after serving this many connections "
+                                 "(default: serve until interrupted)")
+    shard_host.set_defaults(func=_cmd_shard_host)
 
     inspect = sub.add_parser("inspect", help="show store sizing at a scale")
     inspect.add_argument("--keys", type=int, default=20_000)

@@ -6,9 +6,14 @@ paper's Fig 16a multi-enclave split generalized to N shards behind one
 front door:
 
 * :mod:`~repro.cluster.backend` — the ``ShardBackend`` seam: who hosts a
-  shard's enclave (``inline`` in-process, or ``process`` workers);
+  shard's enclave (``inline`` in-process, ``process`` workers, or
+  ``socket`` shard-hosts over TCP);
 * :mod:`~repro.cluster.procbackend` — the process backend: one OS worker
   per enclave behind a message pipe, real kills, real parallelism;
+* :mod:`~repro.cluster.sockbackend` — the socket backend: shard-host
+  processes reachable only over attested, AEAD-framed TCP sessions —
+  the multi-host deployment shape, with network partitions as a
+  first-class failure mode distinct from crashes;
 * :mod:`~repro.cluster.ring` — consistent-hash routing (virtual nodes);
 * :mod:`~repro.cluster.shard` — one enclave + Aria store per shard, EPC
   carved from a cluster-wide budget;
@@ -25,7 +30,8 @@ front door:
 * :mod:`~repro.cluster.replication` — per-partition replica groups:
   fan-out writes, preferred-replica reads, automatic failover;
 * :mod:`~repro.cluster.faults` — deterministic fault injection
-  (kill / corrupt / net delay / drop / close) on replayable schedules;
+  (kill / corrupt / partition / net delay / drop / close) on replayable
+  schedules;
 * :mod:`~repro.cluster.health` — replica health tracking, restart, and
   trusted-path re-sync.
 """
@@ -57,6 +63,7 @@ from repro.cluster.faults import (
     IO_ERROR,
     KILL,
     NET_TARGET,
+    PARTITION,
     REPLAY,
     ROLLBACK,
     TAMPER,
@@ -78,6 +85,14 @@ from repro.cluster.procbackend import (
     ProcessBackend,
     ProcessShard,
     reap_leaked_workers,
+)
+from repro.cluster.sockbackend import (
+    ShardHost,
+    SocketBackend,
+    SocketShard,
+    SpawnedHost,
+    reap_leaked_hosts,
+    run_shard_host,
 )
 from repro.cluster.netserver import (
     BackgroundServer,
@@ -143,6 +158,7 @@ __all__ = [
     "KILL",
     "MigrationReport",
     "NET_TARGET",
+    "PARTITION",
     "ProcessBackend",
     "ProcessShard",
     "REPLAY",
@@ -157,6 +173,10 @@ __all__ = [
     "SessionManager",
     "Shard",
     "ShardBackend",
+    "ShardHost",
+    "SocketBackend",
+    "SocketShard",
+    "SpawnedHost",
     "TAMPER",
     "TORN",
     "TRUNCATE",
@@ -169,9 +189,11 @@ __all__ = [
     "dur_target",
     "make_quote",
     "measurement",
+    "reap_leaked_hosts",
     "reap_leaked_workers",
     "resolve_backend",
     "ring_hash",
+    "run_shard_host",
     "set_default_backend",
     "verify_quote",
 ]

@@ -15,7 +15,11 @@ interchangeable implementations:
   enclave runs in its own ``multiprocessing`` worker behind a message
   pipe; batch requests, key-migration and re-sync traffic serialize over
   it, so the untrusted front-end work genuinely parallelizes across
-  cores and a ``kill`` is a real ``SIGKILL``.
+  cores and a ``kill`` is a real ``SIGKILL``;
+* :class:`~repro.cluster.sockbackend.SocketBackend` — enclaves live in
+  shard-host processes reachable only over TCP, behind an attested,
+  AEAD-framed session per handle; the distributed deployment shape,
+  with network partitions as a first-class failure mode.
 
 Backends are *factories*: they build shard handles but never route
 requests, so the coordinator stays backend-agnostic.  Metering is
@@ -39,7 +43,7 @@ from typing import Optional, Union
 #: Environment override consulted when no explicit/default backend is set.
 BACKEND_ENV_VAR = "ARIA_CLUSTER_BACKEND"
 
-BACKEND_NAMES = ("inline", "process")
+BACKEND_NAMES = ("inline", "process", "socket")
 
 
 class ShardBackend(abc.ABC):
@@ -136,6 +140,10 @@ def resolve_backend(backend: BackendSpec = None) -> ShardBackend:
     _check_name(backend)
     if backend == "inline":
         return InlineBackend()
+    if backend == "socket":
+        from repro.cluster.sockbackend import SocketBackend
+
+        return SocketBackend()
     from repro.cluster.procbackend import ProcessBackend
 
     return ProcessBackend()
@@ -143,6 +151,8 @@ def resolve_backend(backend: BackendSpec = None) -> ShardBackend:
 
 def _check_name(name: str) -> None:
     if name not in BACKEND_NAMES:
-        raise ValueError(
+        from repro.errors import UnknownBackendError
+
+        raise UnknownBackendError(
             f"unknown shard backend {name!r}; choose from {BACKEND_NAMES}"
         )

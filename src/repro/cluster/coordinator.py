@@ -88,6 +88,10 @@ class ClusterCoordinator:
         self.batch_window = batch_window
         self._balancer = None
         self._health_monitor = None
+        #: The ShardBackend that built these shards, when the builder
+        #: passed it along; :meth:`close` releases it (worker processes,
+        #: spawned shard hosts) after the shards themselves.
+        self.backend = None
         self.ops_routed = 0
         #: Whole-flush failures converted to per-request error responses.
         self.flush_failures = 0
@@ -296,6 +300,8 @@ class ClusterCoordinator:
             close = getattr(shard, "close", None)
             if close is not None:
                 close(timeout)
+        if self.backend is not None:
+            self.backend.close(timeout)
 
 
 def build_cluster(
@@ -317,18 +323,24 @@ def build_cluster(
     ``scaled_platform`` (the keyspace is the caller's to scale), so
     ``build_cluster(4, n_keys=10_000, scale=1024)`` is the Fig 16a
     4-tenant operating point generalized to a routed cluster.
-    ``backend`` selects ``"inline"`` or ``"process"`` shard hosting (see
-    :mod:`repro.cluster.backend`); process clusters should be released
-    with :meth:`ClusterCoordinator.close`.
+    ``backend`` selects ``"inline"``, ``"process"`` or ``"socket"`` shard
+    hosting (see :mod:`repro.cluster.backend`); non-inline clusters should
+    be released with :meth:`ClusterCoordinator.close`, which also shuts
+    down whatever the backend spawned (workers, shard hosts).
     """
+    from repro.cluster.backend import resolve_backend
+
+    factory = resolve_backend(backend)
     shards = build_shards(
         n_shards,
         cluster_epc_bytes=max(4096 * n_shards, cluster_epc_bytes // scale),
         n_keys=n_keys,
         index=index,
         seed=seed,
-        backend=backend,
+        backend=factory,
         **shard_overrides,
     )
-    return ClusterCoordinator(shards, vnodes=vnodes,
-                              batch_window=batch_window)
+    coordinator = ClusterCoordinator(shards, vnodes=vnodes,
+                                     batch_window=batch_window)
+    coordinator.backend = factory
+    return coordinator

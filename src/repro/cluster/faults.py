@@ -40,13 +40,23 @@ path in production SGX storage.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
-from repro.errors import ShardCrashedError
+from repro.errors import (
+    ShardCrashedError,
+    ShardUnreachableError,
+    UnknownFaultKindError,
+)
 
 KILL = "kill"
 CORRUPT = "corrupt"
+# The host is alive but unreachable: frames black-hole and connects time
+# out until the partition heals.  Distinct from KILL — the enclave and
+# its state survive on the far side, so recovery is a reconnect +
+# re-handshake + delta re-sync, never a rebuild.
+PARTITION = "partition"
 DELAY = "delay"
 DROP = "drop"
 CLOSE = "close"
@@ -69,7 +79,7 @@ CTR_RESET = "ctr_reset"  # attacker wipes the monotonic counter
 #: The FaultPlan target consumed by the TCP front door.
 NET_TARGET = "net"
 
-_SHARD_KINDS = {KILL, CORRUPT}
+_SHARD_KINDS = {KILL, CORRUPT, PARTITION}
 _NET_KINDS = {DELAY, DROP, CLOSE, TAMPER, REPLAY, DOWNGRADE}
 _DUR_KINDS = {TORN, TRUNCATE, IO_ERROR, CAPTURE, ROLLBACK, CTR_RESET}
 
@@ -104,11 +114,14 @@ class FaultEvent:
     target: str
     at: int
     key: bytes = b""        # CORRUPT: record to tamper (b"" = first key)
-    seconds: float = 0.0    # DELAY: how long to stall the response
+    seconds: float = 0.0    # DELAY: stall; PARTITION: heal window
 
     def __post_init__(self):
         if self.kind not in _SHARD_KINDS | _NET_KINDS | _DUR_KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}")
+            raise UnknownFaultKindError(
+                f"unknown fault kind {self.kind!r}; an event that can "
+                "never fire is a schedule bug, not a no-op"
+            )
         if self.at < 0:
             raise ValueError("fault trigger point must be >= 0")
 
@@ -118,7 +131,16 @@ class FaultPlan:
 
     def __init__(self, events: Iterable[FaultEvent] = (), *, spec: str = ""):
         self._by_target: Dict[str, List[FaultEvent]] = {}
+        known = _SHARD_KINDS | _NET_KINDS | _DUR_KINDS
         for event in sorted(events, key=lambda e: (e.at, e.kind)):
+            if event.kind not in known:
+                # FaultEvent validates at construction, but a duck-typed
+                # stand-in (or a future kind removed from the sets) must
+                # not slip into a schedule as a never-firing ghost.
+                raise UnknownFaultKindError(
+                    f"unknown fault kind {event.kind!r} in plan event "
+                    f"for target {event.target!r}"
+                )
             self._by_target.setdefault(event.target, []).append(event)
         self._fired: set = set()
         #: How this plan was built (chaos() records its full argument list)
@@ -137,6 +159,16 @@ class FaultPlan:
 
     def corrupt(self, target: str, at: int, key: bytes = b"") -> "FaultPlan":
         return self._add(FaultEvent(CORRUPT, target, at, key=key))
+
+    def partition(self, target: str, at: int,
+                  seconds: float = 0.0) -> "FaultPlan":
+        """Cut the target's host off the network at the ``at``-th op.
+
+        ``seconds`` is the heal window: reconnect attempts inside it fail
+        like timed-out connects; 0 means the partition is healable as
+        soon as the health monitor notices (transient blip).
+        """
+        return self._add(FaultEvent(PARTITION, target, at, seconds=seconds))
 
     def delay(self, at: int, seconds: float,
               target: str = NET_TARGET) -> "FaultPlan":
@@ -262,6 +294,7 @@ class FaultPlan:
         horizon: int,
         n_kills: int = 2,
         n_corrupts: int = 2,
+        n_partitions: int = 0,
         min_gap: int = 0,
         seed: int = 0,
         dur_targets: Optional[List[str]] = None,
@@ -287,7 +320,8 @@ class FaultPlan:
         if not targets:
             raise ValueError("chaos needs at least one target")
         rng = random.Random(seed)
-        kinds = [KILL] * n_kills + [CORRUPT] * n_corrupts
+        kinds = ([KILL] * n_kills + [CORRUPT] * n_corrupts
+                 + [PARTITION] * n_partitions)
         rng.shuffle(kinds)
         points: List[int] = []
         at = 0
@@ -309,6 +343,7 @@ class FaultPlan:
                 ))
         spec = (f"FaultPlan.chaos(targets={targets!r}, horizon={horizon}, "
                 f"n_kills={n_kills}, n_corrupts={n_corrupts}, "
+                f"n_partitions={n_partitions}, "
                 f"min_gap={min_gap}, seed={seed}")
         if dur_targets and n_dur:
             spec += (f", dur_targets={dur_targets!r}, n_dur={n_dur}, "
@@ -359,6 +394,10 @@ class _FaultyServer:
             raise ShardCrashedError(
                 f"shard {owner.shard_id} is down (enclave killed)"
             )
+        if owner.partitioned:
+            raise ShardUnreachableError(
+                f"shard {owner.shard_id} is unreachable (partitioned)"
+            )
         return owner.inner.server.flush_batch(requests)
 
 
@@ -386,6 +425,10 @@ class FaultyShard:
         self.ops_flushed = 0
         self.restarts = 0
         self.corruptions = 0
+        self.partitions = 0
+        self.reconnects = 0
+        self._partitioned = False
+        self._heal_at = 0.0
         self._server = _FaultyServer(self)
 
     # -- fault application --------------------------------------------------------
@@ -395,6 +438,8 @@ class FaultyShard:
             self.kill()
         elif event.kind == CORRUPT:
             self.corrupt(event.key)
+        elif event.kind == PARTITION:
+            self.partition(event.seconds)
         else:  # pragma: no cover - plans are validated at construction
             raise ValueError(f"shard cannot apply fault {event.kind!r}")
 
@@ -449,11 +494,74 @@ class FaultyShard:
         old = self.inner
         self.inner = self._rebuild()
         self.crashed = False
+        self._partitioned = False
+        self._heal_at = 0.0
         self.restarts += 1
         close = getattr(old, "close", None)
         if close is not None:
             close()  # reap the dead worker's process entry and pipe
         return self.inner
+
+    # -- partitions ---------------------------------------------------------------
+
+    def partition(self, duration: float = 0.0) -> None:
+        """Cut the shard off without killing it: frames black-hole.
+
+        Socket-backed shards partition for real (the link is severed and
+        the far-side enclave keeps its state); for inline/process shards
+        the wrapper black-holes its own request path so the *failure
+        signature* — :class:`~repro.errors.ShardUnreachableError`, enclave
+        state intact — is identical across backends.  ``duration`` is the
+        heal window: :meth:`reconnect` refuses until it has elapsed.
+        """
+        if self.crashed:
+            return
+        self.partitions += 1
+        inner = getattr(self.inner, "partition", None)
+        if inner is not None:
+            inner(duration)
+            return
+        self._partitioned = True
+        self._heal_at = time.monotonic() + duration
+
+    def heal(self) -> None:
+        """Collapse the remaining heal window; the next reconnect succeeds."""
+        self._heal_at = 0.0
+        heal = getattr(self.inner, "heal", None)
+        if heal is not None:
+            heal()
+
+    def reconnect(self) -> bool:
+        """Try to re-establish the link to a partitioned shard.
+
+        Returns ``True`` when the shard is reachable again — state intact,
+        no restart or re-sync-from-scratch needed.  Returns ``False``
+        while the heal window is still open, or when the far side turned
+        out to be dead (in which case ``crashed`` is now set and the
+        normal restart path applies).
+        """
+        if self.crashed:
+            return False
+        inner = getattr(self.inner, "reconnect", None)
+        if inner is not None:
+            ok = bool(inner())
+            if ok:
+                self._partitioned = False
+                self.reconnects += 1
+            elif getattr(self.inner, "crashed", False):
+                self.crashed = True
+            return ok
+        if not self._partitioned:
+            return True
+        if time.monotonic() < self._heal_at:
+            return False
+        self._partitioned = False
+        self.reconnects += 1
+        return True
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned or getattr(self.inner, "partitioned", False)
 
     # -- Shard duck-typing --------------------------------------------------------
 
@@ -466,6 +574,10 @@ class FaultyShard:
         if self.crashed:
             raise ShardCrashedError(
                 f"shard {self.shard_id} is down (enclave killed)"
+            )
+        if self.partitioned:
+            raise ShardUnreachableError(
+                f"shard {self.shard_id} is unreachable (partitioned)"
             )
         return self.inner.store
 
@@ -499,6 +611,8 @@ class FaultyShard:
         row = self.inner.stats()
         row["crashed"] = self.crashed
         row["restarts"] = self.restarts
+        row["partitions"] = self.partitions
+        row["reconnects"] = self.reconnects
         return row
 
     def close(self, timeout: float = 5.0) -> None:

@@ -58,6 +58,10 @@ class ResyncReport:
     src_cycles: float    # verified reads charged to the live peer
     dst_cycles: float    # re-sealed puts charged to the recovered replica
     restarted: bool
+    #: The replica came back via reconnect (healed partition): the far-side
+    #: enclave kept its state, so this re-sync is a catch-up of the writes
+    #: missed while unreachable, not a rebuild from empty.
+    reconnected: bool = False
 
 
 @dataclass
@@ -117,10 +121,22 @@ class HealthMonitor:
             if not replicas:
                 continue  # a plain, unreplicated shard: nothing to heal
             restarted_ids = set()
+            reconnected_ids = set()
             for replica in replicas:
-                if replica.state is ReplicaState.DOWN and self.auto_restart:
-                    if self._restart(replica):
-                        restarted_ids.add(id(replica))
+                if replica.state is not ReplicaState.DOWN \
+                        or not self.auto_restart:
+                    continue
+                if replica.last_reason == "unreachable":
+                    # The enclave is (probably) alive behind a partition:
+                    # try the cheap path — re-dial, re-handshake, re-attach
+                    # — before discarding its state with a restart.
+                    if self._reconnect(replica):
+                        reconnected_ids.add(id(replica))
+                        continue
+                    if not getattr(replica.shard, "crashed", False):
+                        continue  # heal window still open: retry next round
+                if self._restart(replica):
+                    restarted_ids.add(id(replica))
             if getattr(group, "durability", None) is not None \
                     and group._first_live() is None:
                 try:
@@ -133,11 +149,32 @@ class HealthMonitor:
                     if report is not None:
                         report.restarted = (id(replica) in restarted_ids
                                             or report.restarted)
+                        report.reconnected = id(replica) in reconnected_ids
                         reports.append(report)
         self.history.extend(reports)
         return reports
 
     # -- recovery -----------------------------------------------------------------
+
+    def _reconnect(self, replica: Replica) -> bool:
+        """Re-establish the link to a partitioned replica, state intact.
+
+        Success moves the replica to RECOVERING so the normal re-sync pass
+        catches it up on the writes it missed; the far side keeping its
+        keys and store is what makes this cheaper than a restart.  Failure
+        leaves it DOWN — with ``crashed`` now set if the far side turned
+        out to be dead, which routes it to the restart path.
+        """
+        reconnect = getattr(replica.shard, "reconnect", None)
+        if reconnect is None:
+            return False
+        try:
+            ok = bool(reconnect())
+        except ShardCrashedError:
+            return False
+        if ok:
+            replica.state = ReplicaState.RECOVERING
+        return ok
 
     def _restart(self, replica: Replica) -> bool:
         """Swap the dead/quarantined enclave for a fresh, empty one."""
@@ -245,6 +282,9 @@ class HealthMonitor:
 
     def total_resyncs(self) -> int:
         return len(self.history)
+
+    def total_reconnects(self) -> int:
+        return sum(1 for r in self.history if r.reconnected)
 
     def total_keys_resynced(self) -> int:
         return sum(r.keys_copied for r in self.history)

@@ -53,6 +53,7 @@ import time
 import warnings
 from typing import Callable, List, Optional, Tuple
 
+from repro.cluster import netutil
 from repro.cluster.faults import (
     CLOSE,
     DELAY,
@@ -167,9 +168,10 @@ class ClusterNetServer:
     #: Bind attempts before giving up on an address already in use.  A
     #: fixed port raced by a just-closed test server lingers in TIME_WAIT
     #: briefly; bounded retry with a short backoff deflakes that without
-    #: masking a genuinely occupied port.
-    BIND_RETRIES = 5
-    BIND_RETRY_DELAY = 0.2
+    #: masking a genuinely occupied port.  Shared with the shard-host
+    #: listener (see :mod:`repro.cluster.netutil`).
+    BIND_RETRIES = netutil.BIND_RETRIES
+    BIND_RETRY_DELAY = netutil.BIND_RETRY_DELAY
 
     async def start(self) -> Tuple[str, int]:
         """Bind and start accepting; returns the bound (host, port).
@@ -789,8 +791,11 @@ class ClusterClient:
                     TamperedFrameError, ReplayError):
                 if attempt >= self._retries:
                     raise
-                self._sleep(min(self._backoff * (2 ** attempt),
-                                self._backoff_cap))
+                # Jitter desynchronizes clients retrying after the same
+                # server hiccup, so the reconnect stampede spreads out.
+                self._sleep(netutil.jittered(
+                    min(self._backoff * (2 ** attempt), self._backoff_cap)
+                ))
                 self._reconnect()
                 self.retried_reads += 1
                 attempt += 1

@@ -1,0 +1,65 @@
+"""Small shared network plumbing for every TCP endpoint in the cluster.
+
+Two things live here so the front door (:mod:`repro.cluster.netserver`)
+and the shard hosts (:mod:`repro.cluster.sockbackend`) behave the same
+way under test churn:
+
+* **Bind retry** — a fixed port raced by a just-closed test server
+  lingers in ``TIME_WAIT`` briefly; bounded retry with a short linear
+  backoff deflakes that without masking a genuinely occupied port.
+  :func:`bind_with_retry` is the synchronous form (the async front door
+  shares the constants and mirrors the loop).
+* **Retry jitter** — a fleet of clients retrying a flaky server with the
+  same deterministic backoff all wake at the same instant and stampede
+  it again.  :func:`jittered` spreads a base delay by a small random
+  factor; callers that need reproducible schedules pass their own
+  ``rng``.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import time
+from typing import Callable, TypeVar
+
+#: Bind attempts before giving up on an address already in use.
+BIND_RETRIES = 5
+#: Base delay between bind attempts; attempt ``i`` waits ``(i+1) *`` this.
+BIND_RETRY_DELAY = 0.2
+
+#: Fraction of a retry delay added as random jitter (uniform in
+#: ``[0, delay * RETRY_JITTER]``) so concurrent clients desynchronize.
+RETRY_JITTER = 0.25
+
+T = TypeVar("T")
+
+
+def bind_with_retry(
+    bind: Callable[[], T],
+    *,
+    retries: int = BIND_RETRIES,
+    delay: float = BIND_RETRY_DELAY,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``bind()`` until it sticks, retrying only ``EADDRINUSE``.
+
+    Ephemeral port 0 never collides, so in practice this only fires for
+    fixed ports; any other bind error surfaces immediately, as does an
+    ``EADDRINUSE`` that outlives the retry budget.
+    """
+    for attempt in range(retries):
+        try:
+            return bind()
+        except OSError as exc:
+            if exc.errno != errno.EADDRINUSE or attempt == retries - 1:
+                raise
+            sleep(delay * (attempt + 1))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def jittered(delay: float, *, fraction: float = RETRY_JITTER,
+             rng: random.Random | None = None) -> float:
+    """``delay`` plus a uniform random slice of it, for retry backoff."""
+    draw = rng.random() if rng is not None else random.random()
+    return delay + delay * fraction * draw

@@ -8,7 +8,9 @@ duck-typed contract as an inline :class:`~repro.cluster.shard.Shard`, so
 the coordinator, replica groups, fault injector, balancer, health
 monitor and stats aggregation all work unchanged.
 
-What crosses the pipe (one duplex ``Pipe`` per worker, pickled tuples):
+What crosses the pipe (one duplex ``Pipe`` per worker, pickled tuples)
+is the shared remote-shard RPC vocabulary of
+:mod:`repro.cluster.remote`:
 
 * batch requests / responses — ``flush_batch`` ships the whole batch and
   gets the response list back; the coordinator additionally uses the
@@ -22,11 +24,10 @@ What crosses the pipe (one duplex ``Pipe`` per worker, pickled tuples):
   the enclave that did the work;
 * metering — every reply piggybacks a full
   :meth:`~repro.sgx.meter.CycleMeter.snapshot` (as plain builtins via
-  ``to_dict``), which the parent folds into a local mirror with
-  :meth:`~repro.sgx.meter.CycleMeter.merge`.  Reading ``meter`` issues a
-  sync round-trip while the worker lives and serves the last-merged
-  mirror once it is dead — a killed enclave's accounting stays readable,
-  exactly like an inline crashed shard's meter.
+  ``to_dict``), which the parent folds into a local mirror.  Reading
+  ``meter`` issues a sync round-trip while the worker lives and serves
+  the last-merged mirror once it is dead — a killed enclave's accounting
+  stays readable, exactly like an inline crashed shard's meter.
 
 What stays in the parent: routing (the ring), batching, replica
 orchestration and failover policy, fault schedules, balancer policy,
@@ -53,24 +54,33 @@ from __future__ import annotations
 import multiprocessing
 import os
 import weakref
-from collections import Counter
 from typing import List, Optional
 
 from repro.cluster.backend import ShardBackend
+from repro.cluster.remote import (
+    DEFAULT_CLOSE_TIMEOUT,
+    DEFAULT_RPC_TIMEOUT,
+    RemoteEnclave,
+    RemoteMeter,
+    RemoteServer,
+    RemoteShardHandle,
+    RemoteStore,
+    dispatch_shard_rpc,
+)
 from repro.errors import AriaError, ShardCrashedError
-from repro.sgx.costs import SgxPlatform
-from repro.sgx.meter import CycleMeter, MeterSnapshot
 
 #: Environment override for the multiprocessing start method.  ``fork``
 #: (where available) keeps worker startup cheap; ``spawn`` re-imports the
 #: world per worker but works everywhere.
 START_METHOD_ENV_VAR = "ARIA_MP_START"
 
-#: How long a single RPC may go unanswered before the worker is presumed
-#: hung and treated as crashed (the CI job timeout is the outer net).
-DEFAULT_RPC_TIMEOUT = 120.0
-
-DEFAULT_CLOSE_TIMEOUT = 5.0
+# Backward-compatible aliases: these classes moved to repro.cluster.remote
+# when the socket backend arrived (same proxies, second transport).
+_RemoteServer = RemoteServer
+_RemoteStore = RemoteStore
+_RemoteEnclave = RemoteEnclave
+_RemoteMeter = RemoteMeter
+_dispatch = dispatch_shard_rpc
 
 #: Every live ProcessShard, whatever backend instance built it — the leak
 #: check fixture's view of the world.
@@ -141,46 +151,12 @@ def _worker_main(conn, spec: dict) -> None:
             _send(conn, "ok", None, shard.meter.snapshot().to_dict())
             break
         try:
-            payload = _dispatch(shard, cmd, args)
+            payload = dispatch_shard_rpc(shard, cmd, args)
         except BaseException as exc:
             _send(conn, "err", exc, shard.meter.snapshot().to_dict())
         else:
             _send(conn, "ok", payload, shard.meter.snapshot().to_dict())
     conn.close()
-
-
-def _dispatch(shard, cmd: str, args: tuple):
-    store = shard.store
-    if cmd == "flush":
-        (requests,) = args
-        return list(shard.server.flush_batch(requests))
-    if cmd == "get":
-        return store.get(args[0])
-    if cmd == "put":
-        return store.put(args[0], args[1])
-    if cmd == "delete":
-        return store.delete(args[0])
-    if cmd == "load":
-        return store.load(args[0])
-    if cmd == "keys":
-        return list(store.keys())
-    if cmd == "len":
-        return len(store)
-    if cmd == "contains":
-        return args[0] in store
-    if cmd == "stats":
-        return shard.stats()
-    if cmd == "sync":
-        return None  # the reply's piggybacked meter is the whole point
-    if cmd == "plant_corruption":
-        from repro.cluster.faults import plant_corruption
-
-        return plant_corruption(store, args[0])
-    if cmd == "corrupt_in_place":
-        from repro.attacks.scenarios import corrupt_record_in_place
-
-        return corrupt_record_in_place(store, args[0])
-    raise ValueError(f"unknown shard RPC {cmd!r}")
 
 
 def _send(conn, tag: str, payload, meter_dict) -> None:
@@ -196,22 +172,15 @@ def _send(conn, tag: str, payload, meter_dict) -> None:
 
 
 # ---------------------------------------------------------------------------
-# The parent-side handle and its proxies
+# The parent-side handle
 # ---------------------------------------------------------------------------
 
 
-class ProcessShard:
+class ProcessShard(RemoteShardHandle):
     """Shard-duck-typed handle for an enclave living in a worker process."""
 
     def __init__(self, spec: dict, ctx):
-        self.shard_id = spec["shard_id"]
-        self.crashed = False
-        self.closed = False
-        self.ops_routed = 0
-        self._load_mark = 0.0
-        self._pending = 0  # pipelined flushes submitted but not collected
-        self._stats_cache: Optional[dict] = None
-        self._meter = _RemoteMeter(self)
+        super().__init__(spec["shard_id"])
         parent_conn, child_conn = ctx.Pipe()
         self._conn = parent_conn
         self._proc = ctx.Process(
@@ -222,10 +191,7 @@ class ProcessShard:
         )
         self._proc.start()
         child_conn.close()
-        self._info = self._recv()  # the "ready" message (or a build error)
-        self.epc_bytes = self._info["epc_bytes"]
-        self._store = _RemoteStore(self)
-        self._server = _RemoteServer(self)
+        self._attach(self._recv())  # the "ready" message (or a build error)
         _LIVE_HANDLES.add(self)
 
     # -- RPC plumbing -------------------------------------------------------------
@@ -257,22 +223,12 @@ class ProcessShard:
             raise ShardCrashedError(
                 f"shard {self.shard_id} is down (worker process died)"
             )
-        if meter_dict is not None:
-            self._meter.absorb(meter_dict)
+        self._absorb_meter(meter_dict)
         if tag == "err":
             if isinstance(payload, BaseException):
                 raise payload
             raise AriaError(str(payload))  # pragma: no cover - degraded path
         return payload
-
-    def _call(self, cmd: str, args: tuple = ()):
-        if self._pending:
-            raise RuntimeError(
-                f"shard {self.shard_id} has {self._pending} uncollected "
-                f"flushes; collect them before issuing {cmd!r}"
-            )
-        self._send(cmd, args)
-        return self._recv()
 
     def _mark_crashed(self) -> None:
         self.crashed = True
@@ -323,8 +279,7 @@ class ProcessShard:
                     if not self._conn.poll(timeout):
                         break
                     _, _, meter_dict = self._conn.recv()
-                    if meter_dict is not None:
-                        self._meter.absorb(meter_dict)
+                    self._absorb_meter(meter_dict)
             except (BrokenPipeError, EOFError, OSError):
                 pass
         self._pending = 0
@@ -341,191 +296,9 @@ class ProcessShard:
             pass
         _LIVE_HANDLES.discard(self)
 
-    # -- Shard duck-typing --------------------------------------------------------
-
-    @property
-    def store(self) -> "_RemoteStore":
-        return self._store
-
-    @property
-    def server(self) -> "_RemoteServer":
-        return self._server
-
-    @property
-    def meter(self) -> "_RemoteMeter":
-        return self._meter
-
-    def load_since_mark(self) -> float:
-        return self.meter.cycles - self._load_mark
-
-    def mark_load(self) -> None:
-        self._load_mark = self.meter.cycles
-
-    def stats(self) -> dict:
-        if self.crashed or self.closed:
-            # A dead enclave still has a story to tell: serve the last row
-            # the worker reported (the meter mirror keeps cycles current
-            # up to its final reply).
-            row = dict(self._stats_cache) if self._stats_cache else {
-                "shard": self.shard_id, "keys": 0,
-                "cycles": self.meter.cycles, "epc_bytes": self.epc_bytes,
-            }
-            row["ops_routed"] = self.ops_routed
-            return row
-        row = self._call("stats")
-        row["ops_routed"] = self.ops_routed
-        self._stats_cache = dict(row)
-        return row
-
-    def plant_corruption(self, key: bytes = b"") -> bool:
-        """Run the fault injector's corruption plant inside the worker."""
-        return self._call("plant_corruption", (key,))
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "down" if self.crashed else ("closed" if self.closed else "up")
         return f"ProcessShard({self.shard_id!r}, pid={self.pid}, {state})"
-
-
-class _RemoteServer:
-    """The handle's ``server``: flush_batch plus the pipelined split pair."""
-
-    def __init__(self, handle: ProcessShard):
-        self._handle = handle
-
-    def flush_batch(self, requests) -> list:
-        return self._handle._call("flush", (list(requests),))
-
-    def flush_submit(self, requests) -> int:
-        """Ship a batch without waiting; returns a collection ticket.
-
-        Submissions to one shard are answered in FIFO order, so tickets
-        are just the in-flight depth at submission time.
-        """
-        handle = self._handle
-        handle._send("flush", (list(requests),))
-        handle._pending += 1
-        return handle._pending
-
-    def flush_collect(self, ticket: int) -> list:
-        handle = self._handle
-        try:
-            return handle._recv()
-        finally:
-            handle._pending = max(0, handle._pending - 1)
-
-
-class _RemoteStore:
-    """Store proxy: the trusted path (migration, re-sync) over the pipe."""
-
-    def __init__(self, handle: ProcessShard):
-        self._handle = handle
-        self._enclave = _RemoteEnclave(handle)
-
-    def get(self, key: bytes) -> bytes:
-        return self._handle._call("get", (key,))
-
-    def put(self, key: bytes, value: bytes) -> None:
-        self._handle._call("put", (key, value))
-
-    def delete(self, key: bytes) -> None:
-        self._handle._call("delete", (key,))
-
-    def load(self, pairs) -> None:
-        self._handle._call("load", (list(pairs),))
-
-    def keys(self):
-        return iter(self._handle._call("keys"))
-
-    def __len__(self) -> int:
-        return self._handle._call("len")
-
-    def __contains__(self, key: bytes) -> bool:
-        return self._handle._call("contains", (key,))
-
-    def corrupt_record_in_place(self, key: bytes) -> None:
-        """Attack-surface hook: tamper a record inside the worker's
-        untrusted memory (see ``repro.attacks.scenarios``)."""
-        self._handle._call("corrupt_in_place", (key,))
-
-    @property
-    def config(self):
-        return self._handle._info["config"]
-
-    @property
-    def enclave(self) -> "_RemoteEnclave":
-        return self._enclave
-
-
-class _RemoteEnclave:
-    """Enclave facade: platform constants, key material, the meter mirror."""
-
-    def __init__(self, handle: ProcessShard):
-        self._handle = handle
-        self._platform: Optional[SgxPlatform] = None
-
-    @property
-    def platform(self) -> SgxPlatform:
-        if self._platform is None:
-            self._platform = SgxPlatform(
-                epc_bytes=self._handle.epc_bytes,
-                cpu_hz=self._handle._info["cpu_hz"],
-            )
-        return self._platform
-
-    @property
-    def keys(self):
-        from repro.crypto.keys import KeyMaterial
-
-        return KeyMaterial(
-            encryption_key=self._handle._info["encryption_key"],
-            mac_key=self._handle._info["mac_key"],
-        )
-
-    @property
-    def meter(self) -> "_RemoteMeter":
-        return self._handle._meter
-
-
-class _RemoteMeter:
-    """Parent-side mirror of the worker's :class:`CycleMeter`.
-
-    Every RPC reply carries a full meter snapshot which is merged into a
-    local :class:`CycleMeter`; explicit reads issue a cheap ``sync``
-    round-trip while the worker lives.  After a kill the mirror serves
-    the last state the worker reported — which, because kills land
-    between flushes, is its complete pre-crash accounting.
-    """
-
-    def __init__(self, handle: ProcessShard):
-        self._handle = handle
-        self._mirror = CycleMeter()
-
-    def absorb(self, meter_dict: dict) -> None:
-        self._mirror.reset()
-        self._mirror.merge(MeterSnapshot.from_dict(meter_dict))
-
-    def _sync(self) -> None:
-        handle = self._handle
-        if handle.crashed or handle.closed or handle._pending:
-            return
-        try:
-            handle._call("sync")
-        except ShardCrashedError:
-            pass  # serve the mirror as of the last successful reply
-
-    @property
-    def cycles(self) -> float:
-        self._sync()
-        return self._mirror.cycles
-
-    @property
-    def events(self) -> Counter:
-        self._sync()
-        return Counter(self._mirror.events)
-
-    def snapshot(self) -> MeterSnapshot:
-        self._sync()
-        return self._mirror.snapshot()
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,7 @@ from repro.errors import (
     KeyNotFoundError,
     ReplicaUnavailableError,
     ShardCrashedError,
+    ShardUnreachableError,
 )
 from repro.server.protocol import (
     OpCode,
@@ -64,6 +65,17 @@ from repro.server.protocol import (
 from repro.sgx.meter import CycleMeter, MeterSnapshot
 
 DEFAULT_REPLICATION = 2
+
+
+def _down_reason(exc: BaseException) -> str:
+    """``"unreachable"`` for partitions, ``"crash"`` for dead enclaves.
+
+    The distinction drives recovery: an unreachable replica's enclave is
+    still alive on the far side, so the health monitor tries a reconnect
+    (re-dial + re-handshake + delta re-sync) before falling back to the
+    full restart-and-rebuild path a crash requires.
+    """
+    return "unreachable" if isinstance(exc, ShardUnreachableError) else "crash"
 
 
 class ReplicaState(enum.Enum):
@@ -157,8 +169,8 @@ class ReplicaGroup:
                 return [_unavailable(self.shard_id)] * len(requests)
             try:
                 responses = list(replica.shard.server.flush_batch(requests))
-            except ShardCrashedError:
-                self.mark_down(replica, "crash")
+            except ShardCrashedError as exc:
+                self.mark_down(replica, _down_reason(exc))
                 self.failovers += 1
                 continue
             primary = replica
@@ -174,8 +186,8 @@ class ReplicaGroup:
                     continue
                 try:
                     peer = list(replica.shard.server.flush_batch(writes))
-                except ShardCrashedError:
-                    self.mark_down(replica, "crash")
+                except ShardCrashedError as exc:
+                    self.mark_down(replica, _down_reason(exc))
                     continue
                 if any(r.status == Status.INTEGRITY_FAILURE for r in peer):
                     # This replica's untrusted memory is rotten; quarantine
@@ -289,8 +301,8 @@ class ReplicaGroup:
                 retried = list(replica.shard.server.flush_batch(
                     [requests[i] for i in remaining]
                 ))
-            except ShardCrashedError:
-                self.mark_down(replica, "crash")
+            except ShardCrashedError as exc:
+                self.mark_down(replica, _down_reason(exc))
                 continue
             self.failovers += len(remaining)
             for i, response in zip(remaining, retried):
@@ -404,8 +416,8 @@ class _GroupStore:
                     f"no live replica in {group.shard_id}")
             try:
                 return replica.shard.store.get(key)
-            except ShardCrashedError:
-                group.mark_down(replica, "crash")
+            except ShardCrashedError as exc:
+                group.mark_down(replica, _down_reason(exc))
                 group.failovers += 1
             except IntegrityError:
                 if len(group.live_replicas()) <= 1:
@@ -434,8 +446,8 @@ class _GroupStore:
             try:
                 replica.shard.store.put(key, value)
                 applied += 1
-            except ShardCrashedError:
-                group.mark_down(replica, "crash")
+            except ShardCrashedError as exc:
+                group.mark_down(replica, _down_reason(exc))
         if not applied:
             raise ReplicaUnavailableError(
                 f"no live replica in {group.shard_id}")
@@ -452,8 +464,8 @@ class _GroupStore:
                 applied += 1
             except KeyNotFoundError:
                 applied += 1
-            except ShardCrashedError:
-                group.mark_down(replica, "crash")
+            except ShardCrashedError as exc:
+                group.mark_down(replica, _down_reason(exc))
         if not applied:
             raise ReplicaUnavailableError(
                 f"no live replica in {group.shard_id}")
@@ -472,8 +484,8 @@ class _GroupStore:
         for replica in self._group.replicas:
             try:
                 replica.shard.store.load(pairs)
-            except ShardCrashedError:  # pragma: no cover - load-time kill
-                self._group.mark_down(replica, "crash")
+            except ShardCrashedError as exc:  # pragma: no cover - load-time kill
+                self._group.mark_down(replica, _down_reason(exc))
         durability = self._group.durability
         if durability is not None:
             durability.commit_load(pairs)
@@ -639,5 +651,7 @@ def build_replicated_cluster(
         )
         for i in range(n_shards)
     ]
-    return ClusterCoordinator(groups, vnodes=vnodes,
-                              batch_window=batch_window)
+    coordinator = ClusterCoordinator(groups, vnodes=vnodes,
+                                     batch_window=batch_window)
+    coordinator.backend = factory
+    return coordinator

@@ -1,0 +1,989 @@
+"""Socket-backed shards: enclaves in shard-host processes, reached by TCP.
+
+The third :class:`~repro.cluster.backend.ShardBackend` implementation,
+and the one that makes the cluster actually *distributed*: each shard or
+replica enclave lives inside a **shard-host** process
+(``python -m repro shard-host``) that is reachable only over TCP.  The
+coordinator's handle, :class:`SocketShard`, speaks the same remote-shard
+RPC vocabulary as the process backend (:mod:`repro.cluster.remote`), but
+every byte of it crosses an **attested, encrypted session**:
+
+* on connect, the handle runs the v2 handshake of
+  :mod:`repro.cluster.session` against the host's gateway identity — DH
+  key exchange, a quote bound to the handshake transcript, and the
+  attested measurement checked against the deployment's
+  **expected-measurement list**.  A host that fails attestation, answers
+  in plaintext (downgrade), or is simply not on the list never receives
+  a single RPC;
+* established frames are AES-CTR + CMAC per direction with strict
+  sequence advance, so an on-path adversary tampering or replaying the
+  coordinator↔shard hop trips the same typed alarms as the client edge.
+  The handle counts the alarm, severs the link, and surfaces
+  :class:`~repro.errors.ShardUnreachableError` — the enclave is intact,
+  the *link* is compromised, and the health monitor re-handshakes a
+  fresh session rather than rebuilding an empty enclave;
+* every RPC reply piggybacks the enclave meter's absolute
+  :meth:`~repro.sgx.meter.CycleMeter.snapshot`, so simulated cycles stay
+  bit-identical across inline, process and socket backends.  The *hop's*
+  crypto is charged separately — to the host's
+  :class:`~repro.cluster.session.SessionManager` meter and the handle's
+  ``wire_meter`` — exactly like the front door's gateway enclave.
+
+Topology: one shard-host serves many enclaves (one per connection, each
+``spawn``\\ ed or ``attach``\\ ed by its handle), and one
+:class:`SocketBackend` places handles round-robin across its host list.
+Consecutive ``create`` calls land on distinct hosts, so a replica
+group's members never share a host when at least two hosts exist — a
+whole-host ``SIGKILL`` takes out at most one replica per group.
+
+Failure semantics, sharpened by the transport:
+
+* **crash** — the host process (or its enclave) is gone; RPCs fail with
+  :class:`~repro.errors.ShardCrashedError`, and recovery means a fresh
+  enclave (``spawn`` on a live host) plus a trusted-path re-sync;
+* **partition** (:data:`repro.cluster.faults.PARTITION`) — the host is
+  alive but unreachable: the handle black-holes frames (and connect
+  attempts time out) until the partition heals, raising
+  :class:`~repro.errors.ShardUnreachableError` meanwhile.  On heal,
+  :meth:`SocketShard.reconnect` re-dials, re-handshakes, and
+  ``attach``\\ es to the *same* enclave — state intact, no rebuild —
+  after which the health monitor re-syncs only the writes it missed.
+
+Locally spawned hosts (the default when no ``hosts`` are given) are real
+OS processes; the parent learns each one's ephemeral port over a one-shot
+pipe, and *everything* after that — spawn, flushes, re-sync, teardown —
+crosses TCP only.  :func:`reap_leaked_hosts` mirrors
+:func:`~repro.cluster.procbackend.reap_leaked_workers` for the test
+suite's leak checks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+import weakref
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.backend import ShardBackend
+from repro.cluster.netutil import bind_with_retry
+from repro.cluster.remote import (
+    DEFAULT_CLOSE_TIMEOUT,
+    DEFAULT_RPC_TIMEOUT,
+    RemoteShardHandle,
+    dispatch_shard_rpc,
+)
+from repro.cluster.session import ClientHandshake, SessionManager, measurement
+from repro.crypto.keys import KeyMaterial
+from repro.errors import (
+    AriaError,
+    ClusterConnectionError,
+    ClusterTimeoutError,
+    HandshakeError,
+    ProtocolError,
+    ReplayError,
+    ShardCrashedError,
+    ShardUnreachableError,
+    TamperedFrameError,
+)
+from repro.server import protocol
+from repro.sgx.meter import CycleMeter
+
+#: ``host:port[,host:port...]`` — pre-started shard hosts to use when a
+#: :class:`SocketBackend` is resolved by name (``ARIA_CLUSTER_BACKEND=socket``)
+#: with no explicit host list.  Unset means spawn local hosts.
+SHARD_HOSTS_ENV_VAR = "ARIA_SHARD_HOSTS"
+
+#: ``hex[,hex...]`` — the expected-measurement list matching the env hosts.
+SHARD_MEASUREMENTS_ENV_VAR = "ARIA_SHARD_MEASUREMENTS"
+
+#: How many local shard-host processes a spawn-mode backend brings up.
+DEFAULT_N_HOSTS = 2
+
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+_FRAME_LEN = struct.Struct("<I")
+
+#: Every live SocketShard handle, whatever backend built it.
+_LIVE_HANDLES: "weakref.WeakSet[SocketShard]" = weakref.WeakSet()
+
+#: Every locally spawned shard-host process still possibly running.  A
+#: strong set: a dropped backend must not let its hosts leak silently.
+_LIVE_HOSTS: set = set()
+
+
+def reap_leaked_hosts(timeout: float = DEFAULT_CLOSE_TIMEOUT) -> List[str]:
+    """Close every socket handle, then stop every spawned shard host.
+
+    Returns ``host:port`` for hosts that were still *running* (genuine
+    leaks); already-dead hosts only need their process entry joined.
+    The counterpart of :func:`~repro.cluster.procbackend
+    .reap_leaked_workers` for the distributed backend's leak checks.
+    """
+    for handle in list(_LIVE_HANDLES):
+        handle.close(timeout)
+    leaked = []
+    for host in list(_LIVE_HOSTS):
+        if host.alive():
+            leaked.append(f"{host.host}:{host.port}")
+        host.stop(timeout)
+    return sorted(leaked)
+
+
+# ---------------------------------------------------------------------------
+# Stream framing (length-prefixed v2 frames, both directions)
+# ---------------------------------------------------------------------------
+
+
+def _write_frame(sock: socket.socket, payload: bytes) -> None:
+    try:
+        sock.sendall(_FRAME_LEN.pack(len(payload)) + payload)
+    except socket.timeout as exc:
+        raise ClusterTimeoutError("shard-hop send timed out") from exc
+    except OSError as exc:
+        raise ClusterConnectionError(
+            f"shard-hop send failed: {exc}") from exc
+
+
+def _read_frame(sock: socket.socket) -> bytes:
+    header = _read_exactly(sock, _FRAME_LEN.size)
+    (frame_len,) = _FRAME_LEN.unpack(header)
+    if frame_len == 0 or frame_len > protocol.MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"shard-hop frame of {frame_len} bytes exceeds "
+            f"{protocol.MAX_FRAME_BYTES}")
+    return _read_exactly(sock, frame_len)
+
+
+def _read_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as exc:
+            raise ClusterTimeoutError("shard-hop receive timed out") from exc
+        except OSError as exc:
+            raise ClusterConnectionError(
+                f"shard-hop receive failed: {exc}") from exc
+        if not chunk:
+            raise ClusterConnectionError("shard host closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# The shard-host side
+# ---------------------------------------------------------------------------
+
+
+class ShardHost:
+    """One shard-host process: a registry of enclaves behind a gateway.
+
+    Accepts TCP connections, runs the v2 attested handshake for each
+    (the host's :class:`~repro.cluster.session.SessionManager` *is* its
+    gateway-enclave identity, derived from ``seed`` so deployments can
+    pin the measurement), then serves sealed RPC frames.  Each
+    connection drives exactly one enclave, named by its first command:
+
+    * ``spawn``  — build a fresh :class:`~repro.cluster.shard.Shard`
+      from a spec (replacing any previous enclave of that id);
+    * ``attach`` — re-bind to an enclave that survived a severed
+      connection (the partition-heal path; state intact).
+
+    A connection dying *without* a ``shutdown``/``kill`` command leaves
+    its enclave in the registry: losing the link must not lose the
+    data — that asymmetry is what distinguishes a partition from a
+    crash.  ``kill`` and ``shutdown`` remove the enclave.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 seed: int = 0, crypto: str = "fast"):
+        self.host = host
+        self.port = port
+        self.seed = seed
+        self.keys = KeyMaterial.from_seed(seed)
+        self.sessions = SessionManager(keys=self.keys, crypto=crypto)
+        self.alarms: Counter = Counter()
+        self.connections_served = 0
+        self._enclaves: dict = {}
+        self._registry_lock = threading.Lock()
+        self._crypto_lock = threading.Lock()
+        self._shard_locks: dict = {}
+        self._listener: Optional[socket.socket] = None
+        self._conns: set = set()
+        self._stopping = threading.Event()
+
+    @property
+    def measurement(self) -> bytes:
+        """What an honest quote for this host's gateway attests."""
+        return measurement(self.keys)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind (with the shared EADDRINUSE retry) and listen."""
+
+        def bind():
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            try:
+                listener.setsockopt(socket.SOL_SOCKET,
+                                    socket.SO_REUSEADDR, 1)
+                listener.bind((self.host, self.port))
+            except OSError:
+                listener.close()
+                raise
+            return listener
+
+        self._listener = bind_with_retry(bind)
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        return self.host, self.port
+
+    def serve_forever(self, max_conns: Optional[int] = None) -> None:
+        """Accept and serve until :meth:`stop` (or ``max_conns`` served)."""
+        if self._listener is None:
+            self.start()
+        served = 0
+        while not self._stopping.is_set():
+            if max_conns is not None and served >= max_conns:
+                break
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            served += 1
+            self.connections_served += 1
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        for conn in list(self._conns):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- one connection = one enclave's RPC stream --------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        self._conns.add(conn)
+        session = None
+        try:
+            try:
+                hello = _read_frame(conn)
+                with self._crypto_lock:
+                    reply, session = self.sessions.accept(hello)
+            except (HandshakeError, ProtocolError):
+                self.alarms["handshake"] += 1
+                return  # nothing about a bad hello is ever trusted
+            except (ClusterConnectionError, ClusterTimeoutError, OSError):
+                return
+            try:
+                _write_frame(conn, reply)
+            except (ClusterConnectionError, ClusterTimeoutError):
+                return
+            self._serve_session(conn, session)
+        finally:
+            if session is not None:
+                with self._crypto_lock:
+                    self.sessions.retire(session)
+            self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _serve_session(self, conn: socket.socket, session) -> None:
+        shard = None
+        shard_id = None
+        while not self._stopping.is_set():
+            try:
+                frame = _read_frame(conn)
+            except (ClusterConnectionError, ClusterTimeoutError,
+                    ProtocolError):
+                return  # link gone: the enclave stays in the registry
+            try:
+                with self._crypto_lock:
+                    payload = session.open(frame)
+            except (TamperedFrameError, ReplayError):
+                # An on-path attacker touched the hop; alarm and hang up.
+                self.alarms["wire"] += 1
+                return
+            except (ProtocolError, AriaError):
+                self.alarms["wire"] += 1
+                return
+            try:
+                cmd, args = pickle.loads(payload)
+            except Exception:
+                self.alarms["wire"] += 1
+                return
+            if shard is None:
+                shard, shard_id = self._bind_enclave(conn, session, cmd, args)
+                continue
+            if cmd in ("shutdown", "kill"):
+                # Both remove the enclave; "kill" models the enclave (not
+                # the host) dying, "shutdown" is the graceful release.
+                with self._registry_lock:
+                    self._enclaves.pop(shard_id, None)
+                    self._shard_locks.pop(shard_id, None)
+                self._reply(conn, session, "ok", None,
+                            shard.meter.snapshot().to_dict())
+                return
+            lock = self._shard_locks.get(shard_id) or threading.Lock()
+            try:
+                with lock:
+                    result = dispatch_shard_rpc(shard, cmd, args)
+            except BaseException as exc:
+                self._reply(conn, session, "err", exc,
+                            shard.meter.snapshot().to_dict())
+            else:
+                self._reply(conn, session, "ok", result,
+                            shard.meter.snapshot().to_dict())
+
+    def _bind_enclave(self, conn, session, cmd: str, args: tuple):
+        """Handle the stream's first command: spawn or attach."""
+        from repro.cluster.shard import Shard
+
+        if cmd == "spawn":
+            (spec,) = args
+            try:
+                shard = Shard(
+                    spec["shard_id"],
+                    epc_bytes=spec["epc_bytes"],
+                    capacity_keys=spec["capacity_keys"],
+                    index=spec["index"],
+                    seed=spec["seed"],
+                    value_hint=spec["value_hint"],
+                    **spec["config_overrides"],
+                )
+            except BaseException as exc:
+                self._reply(conn, session, "err", exc, None)
+                return None, None
+            with self._registry_lock:
+                self._enclaves[shard.shard_id] = shard
+                self._shard_locks[shard.shard_id] = threading.Lock()
+        elif cmd == "attach":
+            (shard_id,) = args
+            with self._registry_lock:
+                shard = self._enclaves.get(shard_id)
+            if shard is None:
+                self._reply(conn, session, "err", ShardCrashedError(
+                    f"no enclave {shard_id!r} on this host (it was killed, "
+                    "released, or the host restarted)"), None)
+                return None, None
+        else:
+            self._reply(conn, session, "err", ProtocolError(
+                f"first shard-host RPC must be spawn/attach, not {cmd!r}"),
+                None)
+            return None, None
+        enclave = shard.store.enclave
+        info = {
+            "shard_id": shard.shard_id,
+            "epc_bytes": shard.epc_bytes,
+            "pid": os.getpid(),
+            "host": (self.host, self.port),
+            "cpu_hz": enclave.platform.cpu_hz,
+            "encryption_key": enclave.keys.encryption_key,
+            "mac_key": enclave.keys.mac_key,
+            "config": shard.store.config,
+        }
+        self._reply(conn, session, "ready", info,
+                    shard.meter.snapshot().to_dict())
+        return shard, shard.shard_id
+
+    def _reply(self, conn, session, tag, payload, meter_dict) -> None:
+        try:
+            body = pickle.dumps((tag, payload, meter_dict))
+        except Exception:
+            body = pickle.dumps((
+                "err",
+                AriaError(f"unpicklable {tag} payload: {payload!r}"),
+                meter_dict,
+            ))
+        with self._crypto_lock:
+            frame = session.seal(body)
+        try:
+            _write_frame(conn, frame)
+        except (ClusterConnectionError, ClusterTimeoutError):
+            pass  # peer is gone; nothing left to tell it
+
+
+def _set_process_name() -> None:
+    """Make shard hosts findable by name (``pgrep aria-shard-host``).
+
+    CI sweeps for survivors after the suite, and operators get a
+    greppable process table.  Linux-only; 15 chars is the comm limit and
+    exactly fits.
+    """
+    try:
+        with open("/proc/self/comm", "w") as fh:
+            fh.write("aria-shard-host")
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+
+
+def run_shard_host(*, host: str = "127.0.0.1", port: int = 0, seed: int = 0,
+                   crypto: str = "fast", max_conns: Optional[int] = None,
+                   announce=print) -> ShardHost:
+    """Start a shard host, announce its address + measurement, and serve.
+
+    The blocking entrypoint behind ``python -m repro shard-host``.  The
+    announced measurement is what operators put on coordinators'
+    expected-measurement lists.
+    """
+    _set_process_name()
+    shard_host = ShardHost(host=host, port=port, seed=seed, crypto=crypto)
+    bound_host, bound_port = shard_host.start()
+    announce(f"shard-host listening on {bound_host}:{bound_port}")
+    announce(f"measurement: {shard_host.measurement.hex()}")
+    try:
+        shard_host.serve_forever(max_conns=max_conns)
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        shard_host.stop()
+    return shard_host
+
+
+def _host_main(pipe, host: str, port: int, seed: int, crypto: str) -> None:
+    """Child-process body for a locally spawned shard host.
+
+    The pipe is a one-shot control channel: it reports the bound
+    ephemeral port (or a bind failure) back to the parent and is closed
+    before the first enclave exists.  All shard traffic crosses TCP.
+    """
+    _set_process_name()
+    shard_host = ShardHost(host=host, port=port, seed=seed, crypto=crypto)
+    try:
+        address = shard_host.start()
+    except BaseException as exc:
+        try:
+            pipe.send(("err", exc))
+        finally:
+            pipe.close()
+        return
+    pipe.send(("ok", address))
+    pipe.close()
+    shard_host.serve_forever()
+
+
+class SpawnedHost:
+    """Parent-side record of one locally spawned shard-host process."""
+
+    def __init__(self, ctx, *, host: str = "127.0.0.1", port: int = 0,
+                 seed: int = 0, crypto: str = "fast"):
+        self.seed = seed
+        self.measurement = measurement(KeyMaterial.from_seed(seed))
+        parent_pipe, child_pipe = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_host_main,
+            args=(child_pipe, host, port, seed, crypto),
+            daemon=True,
+            name=f"aria-shard-host-{seed}",
+        )
+        self.process.start()
+        child_pipe.close()
+        try:
+            tag, payload = parent_pipe.recv()
+        except (EOFError, OSError) as exc:
+            self.stop()
+            raise ClusterConnectionError(
+                "shard host died before binding") from exc
+        finally:
+            parent_pipe.close()
+        if tag != "ok":
+            self.stop()
+            raise payload
+        self.host, self.port = payload
+        _LIVE_HOSTS.add(self)
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the host process: every enclave on it dies at once."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(DEFAULT_CLOSE_TIMEOUT)
+
+    def stop(self, timeout: float = DEFAULT_CLOSE_TIMEOUT) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck host
+            self.process.kill()
+            self.process.join(timeout)
+        _LIVE_HOSTS.discard(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive() else "down"
+        return f"SpawnedHost({self.host}:{self.port}, seed={self.seed}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# The parent-side handle
+# ---------------------------------------------------------------------------
+
+
+class SocketShard(RemoteShardHandle):
+    """Shard handle for an enclave behind an attested TCP session.
+
+    The same RPC surface as :class:`~repro.cluster.procbackend
+    .ProcessShard` — flushes (plain and pipelined), the trusted path, the
+    absolute meter mirror — but the transport is a
+    :class:`~repro.cluster.session.SecureSession` over TCP, and the
+    handle additionally models the link itself: :meth:`partition` black-
+    holes frames without touching the enclave, and :meth:`reconnect`
+    re-dials, re-handshakes, and re-attaches after a heal.
+    """
+
+    def __init__(
+        self,
+        spec: dict,
+        endpoint: Tuple[str, int],
+        *,
+        expected_measurements: Optional[Sequence[bytes]] = None,
+        crypto: str = "fast",
+        rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ):
+        super().__init__(spec["shard_id"])
+        self._spec = spec
+        self.endpoint = tuple(endpoint)
+        self._expected = (tuple(expected_measurements)
+                          if expected_measurements else None)
+        self._crypto = crypto
+        self._rpc_timeout = rpc_timeout
+        self._connect_timeout = connect_timeout
+        #: The parent's side of the hop's crypto, priced like the client
+        #: edge's accounting — never merged into the shard meter, so the
+        #: enclave's simulated cycles stay backend-invariant.
+        self.wire_meter = CycleMeter()
+        self.wire_alarms: Counter = Counter()
+        self.attested_measurement: Optional[bytes] = None
+        self.partitioned = False
+        self._heal_at = 0.0
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._session = None
+        self._dial()
+        self._attach(self._call("spawn", (spec,)))
+        _LIVE_HANDLES.add(self)
+
+    # -- the attested hop ---------------------------------------------------------
+
+    def _dial(self) -> None:
+        """Connect and run the handshake; pins the measurement list."""
+        host, port = self.endpoint
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=self._connect_timeout)
+        except OSError as exc:
+            raise ClusterConnectionError(
+                f"shard host {host}:{port} unreachable: {exc}") from exc
+        try:
+            sock.settimeout(self._rpc_timeout)
+            handshake = ClientHandshake(crypto=self._crypto,
+                                        meter=self.wire_meter)
+            _write_frame(sock, handshake.hello())
+            try:
+                reply = _read_frame(sock)
+            except (ClusterConnectionError, ClusterTimeoutError) as exc:
+                raise HandshakeError(
+                    f"shard host {host}:{port} refused the handshake: {exc}"
+                ) from exc
+            session = handshake.finish(reply)
+            attested = handshake.attested_measurement
+            if self._expected is not None and attested not in self._expected:
+                raise HandshakeError(
+                    f"shard host {host}:{port} attests measurement "
+                    f"{attested.hex()}, which is not on the expected-"
+                    f"measurement list")
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self._session = session
+        self.attested_measurement = attested
+
+    def _sever(self) -> None:
+        """Drop the link (and its session), leaving the enclave's fate
+        to whoever calls next: reconnect for partitions, restart for
+        crashes."""
+        self._session = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    # -- RPC plumbing -------------------------------------------------------------
+
+    def _send(self, cmd: str, args: tuple = ()) -> None:
+        if self.crashed or self.closed:
+            raise ShardCrashedError(
+                f"shard {self.shard_id} is down (host connection dead)")
+        if self.partitioned:
+            raise ShardUnreachableError(
+                f"shard {self.shard_id} is unreachable "
+                f"(partition: frames black-holed)")
+        try:
+            frame = self._session.seal(pickle.dumps((cmd, args)))
+            _write_frame(self._sock, frame)
+        except (ClusterConnectionError, ClusterTimeoutError, AttributeError):
+            self._mark_crashed()
+            raise ShardCrashedError(
+                f"shard {self.shard_id} is down (host connection lost)")
+
+    def _recv(self, timeout: float = DEFAULT_RPC_TIMEOUT):
+        if self.partitioned:
+            # A pipelined collect racing a partition: the reply frame is
+            # black-holed with everything else on the link.
+            raise ShardUnreachableError(
+                f"shard {self.shard_id} is unreachable "
+                f"(partition: frames black-holed)")
+        try:
+            frame = _read_frame(self._sock)
+        except ClusterTimeoutError:
+            self._mark_crashed()
+            raise ShardCrashedError(
+                f"shard {self.shard_id} host unresponsive after "
+                f"{self._rpc_timeout}s")
+        except (ClusterConnectionError, ProtocolError, AttributeError):
+            self._mark_crashed()
+            raise ShardCrashedError(
+                f"shard {self.shard_id} is down (host connection died)")
+        try:
+            payload = self._session.open(frame)
+        except (TamperedFrameError, ReplayError) as exc:
+            # The hop is under attack: alarm, sever the link, and let the
+            # health monitor re-handshake — the enclave itself is intact.
+            kind = "replay" if isinstance(exc, ReplayError) else "tamper"
+            self.wire_alarms[kind] += 1
+            self._sever()
+            raise ShardUnreachableError(
+                f"shard {self.shard_id} link compromised "
+                f"({kind}ed frame): {exc}") from exc
+        tag, payload, meter_dict = pickle.loads(payload)
+        self._absorb_meter(meter_dict)
+        if tag == "err":
+            if isinstance(payload, BaseException):
+                raise payload
+            raise AriaError(str(payload))  # pragma: no cover - degraded path
+        return payload
+
+    def _mark_crashed(self) -> None:
+        self.crashed = True
+        self._pending = 0
+        self._sever()
+
+    # -- partition / heal / reconnect ----------------------------------------------
+
+    def partition(self, duration: float = 0.0) -> None:
+        """Make the host unreachable: frames black-hole, connects fail.
+
+        The enclave keeps running on the far side.  With ``duration`` 0
+        the partition is immediately healable (the next
+        :meth:`reconnect` succeeds); otherwise reconnect attempts inside
+        the window fail like timed-out connects.
+        """
+        self.partitioned = True
+        self._heal_at = time.monotonic() + duration
+        self._pending = 0
+        self._sever()
+
+    def heal(self) -> None:
+        """Lift the partition window (the link becomes dialable again)."""
+        self._heal_at = 0.0
+
+    def reconnect(self) -> bool:
+        """Re-dial, re-handshake, and re-attach to the same enclave.
+
+        The partition-heal path: returns True when the host answered,
+        attested, and still holds this shard's enclave — state intact,
+        no re-spawn.  Returns False while the partition persists; marks
+        the handle crashed (so the monitor falls back to a full restart
+        + re-sync) when the host is genuinely gone, fails attestation,
+        or no longer has the enclave.
+        """
+        if self.closed:
+            return False
+        if self.partitioned and time.monotonic() < self._heal_at:
+            return False  # still black-holed: a connect would time out
+        self.partitioned = False  # the link is dialable again
+        self._sever()
+        try:
+            self._dial()
+            info = self._call_over_fresh_link("attach", (self.shard_id,))
+        except (ShardCrashedError, ClusterConnectionError,
+                ClusterTimeoutError, HandshakeError, ProtocolError):
+            self._mark_crashed()
+            return False
+        self._info = info
+        self.crashed = False
+        self._pending = 0
+        self.reconnects += 1
+        return True
+
+    def _call_over_fresh_link(self, cmd: str, args: tuple):
+        """One RPC bypassing the crashed guard (used only while
+        re-establishing the link)."""
+        frame = self._session.seal(pickle.dumps((cmd, args)))
+        _write_frame(self._sock, frame)
+        return self._recv()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The shard-host process's pid (shared by its other enclaves)."""
+        return self._info.get("pid")
+
+    def kill(self) -> None:
+        """Kill the enclave (not the host): it vanishes from the registry.
+
+        Best-effort over the wire — behind a partition the kill cannot be
+        delivered, and the stranded enclave is swept when its host stops.
+        """
+        if (not self.crashed and not self.closed and not self.partitioned
+                and self._session is not None):
+            try:
+                self._send("kill")
+                self._recv()
+            except (AriaError, OSError):
+                pass
+        self.crashed = True
+        self._pending = 0
+        self._sever()
+
+    def close(self, timeout: float = DEFAULT_CLOSE_TIMEOUT) -> None:
+        """Graceful release: drain pipelined flushes, free the enclave."""
+        if self.closed:
+            return
+        if (not self.crashed and not self.partitioned
+                and self._session is not None):
+            try:
+                self._sock.settimeout(timeout)
+                for _ in range(self._pending):
+                    self._recv()
+                self._send("shutdown")
+                self._recv()
+            except (AriaError, OSError):
+                pass
+        self.closed = True
+        self._pending = 0
+        self._sever()
+        _LIVE_HANDLES.discard(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        host, port = self.endpoint
+        state = ("closed" if self.closed else
+                 "down" if self.crashed else
+                 "partitioned" if self.partitioned else "up")
+        return (f"SocketShard({self.shard_id!r}, "
+                f"host={host}:{port}, {state})")
+
+
+# ---------------------------------------------------------------------------
+# The backend factory
+# ---------------------------------------------------------------------------
+
+
+def _parse_hosts(spec: Union[str, Sequence]) -> List[Tuple[str, int]]:
+    """``"h:p,h:p"`` or an iterable of ``"h:p"``/(h, p) → [(h, p), ...]."""
+    if isinstance(spec, str):
+        spec = [part for part in spec.split(",") if part.strip()]
+    endpoints = []
+    for entry in spec:
+        if isinstance(entry, str):
+            host, _, port = entry.strip().rpartition(":")
+            if not host or not port.isdigit():
+                raise ValueError(f"bad shard host {entry!r}; want host:port")
+            endpoints.append((host, int(port)))
+        else:
+            host, port = entry
+            endpoints.append((str(host), int(port)))
+    return endpoints
+
+
+def _parse_measurements(spec: Union[str, Sequence]) -> List[bytes]:
+    if isinstance(spec, str):
+        spec = [part for part in spec.split(",") if part.strip()]
+    parsed = []
+    for entry in spec:
+        parsed.append(bytes.fromhex(entry) if isinstance(entry, str)
+                      else bytes(entry))
+    return parsed
+
+
+class SocketBackend(ShardBackend):
+    """Shard enclaves in shard-host processes, reachable only over TCP.
+
+    Two modes:
+
+    * **spawn mode** (default): lazily brings up ``n_hosts`` local
+      shard-host processes on ephemeral ports and computes their
+      expected measurements from the seeds it chose — a self-contained
+      multi-port topology for tests and benchmarks.  A host found dead
+      at ``create`` time is respawned (fresh process, same identity
+      seed, new port).
+    * **static mode** (``hosts=...`` or ``$ARIA_SHARD_HOSTS``): connects
+      to pre-started ``python -m repro shard-host`` processes; the
+      deployment supplies the expected-measurement list
+      (``expected_measurements=`` / ``$ARIA_SHARD_MEASUREMENTS``), and
+      ``None`` means trust-on-first-use (quotes still verified against
+      the attestation root and transcript).
+
+    Handles are placed round-robin over the host list, so consecutive
+    creates — a replica group's members, in particular — land on
+    distinct hosts whenever there are at least two.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        *,
+        hosts: Union[None, str, Sequence] = None,
+        expected_measurements: Union[None, str, Sequence] = None,
+        n_hosts: int = DEFAULT_N_HOSTS,
+        seed: int = 0,
+        crypto: str = "fast",
+        rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        start_method: Optional[str] = None,
+    ):
+        if hosts is None:
+            hosts = os.environ.get(SHARD_HOSTS_ENV_VAR) or None
+        if expected_measurements is None:
+            expected_measurements = (
+                os.environ.get(SHARD_MEASUREMENTS_ENV_VAR) or None)
+        self._static_hosts = _parse_hosts(hosts) if hosts else None
+        self._pinned = (_parse_measurements(expected_measurements)
+                        if expected_measurements else None)
+        if n_hosts < 1:
+            raise ValueError("a socket backend needs at least one host")
+        self._n_hosts = n_hosts
+        self._seed = seed
+        self._crypto = crypto
+        self._rpc_timeout = rpc_timeout
+        self._connect_timeout = connect_timeout
+        self._spawned: List[SpawnedHost] = []
+        self._next = 0
+        self._handles: "weakref.WeakSet[SocketShard]" = weakref.WeakSet()
+        from repro.cluster.procbackend import default_start_method
+
+        self._ctx = multiprocessing.get_context(
+            start_method or default_start_method())
+
+    # -- host pool ----------------------------------------------------------------
+
+    @property
+    def spawn_mode(self) -> bool:
+        return self._static_hosts is None
+
+    def _ensure_hosts(self) -> None:
+        if not self.spawn_mode or self._spawned:
+            return
+        for i in range(self._n_hosts):
+            self._spawned.append(SpawnedHost(
+                self._ctx, seed=self._seed + 7321 * i + 1,
+                crypto=self._crypto))
+
+    def endpoints(self) -> List[Tuple[str, int]]:
+        """The current host list (spawning lazily in spawn mode)."""
+        if self._static_hosts is not None:
+            return list(self._static_hosts)
+        self._ensure_hosts()
+        return [(h.host, h.port) for h in self._spawned]
+
+    def hosts(self) -> List[SpawnedHost]:
+        """Spawn mode only: the live host records (for chaos tests)."""
+        self._ensure_hosts()
+        return list(self._spawned)
+
+    def _pick(self, index: int):
+        """Endpoint + measurement list for the ``index``-th placement,
+        respawning a dead spawned host on the way."""
+        if self._static_hosts is not None:
+            endpoint = self._static_hosts[index % len(self._static_hosts)]
+            return endpoint, self._pinned
+        self._ensure_hosts()
+        slot = index % len(self._spawned)
+        host = self._spawned[slot]
+        if not host.alive():
+            host.stop()
+            host = SpawnedHost(self._ctx, seed=host.seed, crypto=self._crypto)
+            self._spawned[slot] = host
+        return (host.host, host.port), [h.measurement for h in self._spawned]
+
+    # -- the factory --------------------------------------------------------------
+
+    def create(
+        self,
+        shard_id: str,
+        *,
+        epc_bytes: int,
+        capacity_keys: int,
+        index: str = "hash",
+        seed: int = 0,
+        value_hint: int = 16,
+        **config_overrides,
+    ) -> SocketShard:
+        spec = {
+            "shard_id": shard_id,
+            "epc_bytes": epc_bytes,
+            "capacity_keys": capacity_keys,
+            "index": index,
+            "seed": seed,
+            "value_hint": value_hint,
+            "config_overrides": config_overrides,
+        }
+        attempts = max(1, len(self.endpoints()))
+        last_error: Optional[Exception] = None
+        for _ in range(attempts):
+            placement = self._next
+            self._next += 1
+            endpoint, expected = self._pick(placement)
+            try:
+                handle = SocketShard(
+                    spec, endpoint,
+                    expected_measurements=expected,
+                    crypto=self._crypto,
+                    rpc_timeout=self._rpc_timeout,
+                    connect_timeout=self._connect_timeout,
+                )
+            except (ClusterConnectionError, ClusterTimeoutError) as exc:
+                last_error = exc  # host down: try the next one
+                continue
+            self._handles.add(handle)
+            return handle
+        raise ClusterConnectionError(
+            f"no shard host reachable for {shard_id!r}: {last_error}")
+
+    def close(self, timeout: float = DEFAULT_CLOSE_TIMEOUT) -> None:
+        for handle in list(self._handles):
+            handle.close(timeout)
+        for host in self._spawned:
+            host.stop(timeout)
+        self._spawned = []

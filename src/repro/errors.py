@@ -65,6 +65,23 @@ class ConfigurationError(AriaError):
     """An AriaConfig combination is invalid (e.g. arity < 2)."""
 
 
+class UnknownFaultKindError(ConfigurationError, ValueError):
+    """A FaultPlan/FaultEvent named a fault kind that does not exist.
+
+    A typo'd kind used to build an event that silently never fires; it is
+    rejected at construction instead.  Inherits ``ValueError`` for callers
+    that predate the typed :class:`AriaError` tree.
+    """
+
+
+class UnknownBackendError(ConfigurationError, ValueError):
+    """A shard-backend name did not resolve to a registered backend.
+
+    Inherits ``ValueError`` so pre-existing ``except ValueError`` handlers
+    around :func:`repro.cluster.backend.resolve_backend` keep working.
+    """
+
+
 class EnclaveViolationError(AriaError):
     """Simulator misuse: untrusted code touched trusted state directly."""
 
@@ -75,6 +92,19 @@ class ShardCrashedError(AriaError):
     A crash is a *loss of the enclave*, not of untrusted memory: EPC
     contents and trust anchors are gone, and a restarted enclave comes back
     empty until it re-syncs from a live replica through the trusted path.
+    """
+
+
+class ShardUnreachableError(ShardCrashedError):
+    """The shard's host is alive but unreachable (network partition).
+
+    Distinct from a crash: the enclave, its keys and its state are
+    presumed intact on the far side of the partition — frames are merely
+    black-holed (or connects time out) until the link heals.  Inherits
+    :class:`ShardCrashedError` so the replication layer's existing
+    failover treats an unreachable replica exactly like a dead one for
+    serving purposes; the health monitor, however, *reconnects* to a
+    healed partition instead of rebuilding an empty enclave.
     """
 
 

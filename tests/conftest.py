@@ -4,8 +4,10 @@ The cluster, replication, fault, and netserver suites were written against
 the duck-typed shard contract — they never ask *where* a shard's enclave
 runs.  ``pytest_generate_tests`` below re-runs every test in those modules
 twice: once with the default ``inline`` backend and once with the
-``process`` backend (real OS workers, marked ``procs``).  The test bodies
-are unmodified; only the process-wide default backend changes.
+``process`` backend (real OS workers, marked ``procs``).  The cluster,
+replication and fault suites additionally run against the ``socket``
+backend (shard-host processes over attested TCP, marked ``dist``).  The
+test bodies are unmodified; only the process-wide default backend changes.
 
 The ``cluster_backend`` fixture is inserted at the *front* of each test's
 fixture list so it is set up before (and torn down after) the module's own
@@ -23,7 +25,11 @@ import os
 
 import pytest
 
-from repro.cluster import reap_leaked_workers, set_default_backend
+from repro.cluster import (
+    reap_leaked_hosts,
+    reap_leaked_workers,
+    set_default_backend,
+)
 
 # Modules whose tests exercise the cluster layer through the shard
 # contract.  Only these are parametrized; the single-store suites would
@@ -37,19 +43,35 @@ _BACKEND_MODULES = {
     "test_wire_session",
 }
 
+# The subset that additionally runs on the socket backend: the suites
+# whose semantics the distributed deployment must preserve (routing,
+# replication/failover, fault injection).  Durability and front-door
+# suites spend their time on orthogonal machinery; spawning shard-hosts
+# under them buys no extra coverage for the shard hop.
+_SOCKET_MODULES = {
+    "test_cluster",
+    "test_cluster_faults",
+    "test_cluster_replication",
+}
+
 _BACKEND_PARAMS = [
     pytest.param("inline"),
     pytest.param("process", marks=pytest.mark.procs),
 ]
+
+_SOCKET_PARAM = pytest.param("socket", marks=pytest.mark.dist)
 
 
 def pytest_generate_tests(metafunc):
     module = metafunc.module.__name__.rpartition(".")[2]
     if module not in _BACKEND_MODULES:
         return
+    params = list(_BACKEND_PARAMS)
+    if module in _SOCKET_MODULES:
+        params.append(_SOCKET_PARAM)
     if "cluster_backend" not in metafunc.fixturenames:
         metafunc.fixturenames.insert(0, "cluster_backend")
-    metafunc.parametrize("cluster_backend", _BACKEND_PARAMS, indirect=True)
+    metafunc.parametrize("cluster_backend", params, indirect=True)
 
 
 @pytest.fixture()
@@ -62,10 +84,12 @@ def cluster_backend(request):
     finally:
         set_default_backend(previous)
         leaked = reap_leaked_workers()
+        leaked_hosts = reap_leaked_hosts()
         strays = multiprocessing.active_children()
         assert not strays, (
             f"worker processes survived reaping: {strays} "
-            f"(reaped handles for shards {leaked})"
+            f"(reaped handles for shards {leaked}, "
+            f"shard-hosts {leaked_hosts})"
         )
 
 

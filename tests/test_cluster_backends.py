@@ -26,6 +26,7 @@ from repro.cluster import (
     InlineBackend,
     ProcessBackend,
     ReplicaState,
+    SocketBackend,
     build_cluster,
     build_replicated_cluster,
     default_backend_name,
@@ -33,6 +34,7 @@ from repro.cluster import (
     set_default_backend,
 )
 from repro.cluster.backend import BACKEND_ENV_VAR
+from repro.errors import ConfigurationError, UnknownBackendError
 from repro.server import protocol
 from repro.server.protocol import encode_batch_responses
 
@@ -70,6 +72,8 @@ class TestResolution:
     def test_names_resolve_to_instances(self):
         assert isinstance(resolve_backend("inline"), InlineBackend)
         assert isinstance(resolve_backend("process"), ProcessBackend)
+        # Resolving "socket" must not spawn hosts yet: the pool is lazy.
+        assert isinstance(resolve_backend("socket"), SocketBackend)
         for name in BACKEND_NAMES:
             assert resolve_backend(name).name == name
 
@@ -82,6 +86,32 @@ class TestResolution:
             resolve_backend("threads")
         with pytest.raises(ValueError, match="backend"):
             set_default_backend("threads")
+
+    def test_unknown_name_is_a_typed_error(self):
+        # Catchable as config misuse or as the historical ValueError.
+        assert issubclass(UnknownBackendError, ConfigurationError)
+        assert issubclass(UnknownBackendError, ValueError)
+        with pytest.raises(UnknownBackendError):
+            resolve_backend("threads")
+        with pytest.raises(UnknownBackendError):
+            set_default_backend("threads")
+
+    def test_full_precedence_chain(self, monkeypatch):
+        # explicit arg > set_default_backend > env var > inline.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        assert default_backend_name() == "process"  # env fills the gap
+        previous = set_default_backend("socket")
+        try:
+            assert default_backend_name() == "socket"  # default beats env
+            assert resolve_backend(None).name == "socket"
+            # An explicit name or instance beats the default.
+            assert resolve_backend("inline").name == "inline"
+            explicit = InlineBackend()
+            assert resolve_backend(explicit) is explicit
+        finally:
+            set_default_backend(previous)
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert default_backend_name() == "inline"  # nothing set: inline
 
     def test_set_default_returns_previous(self):
         previous = set_default_backend("inline")

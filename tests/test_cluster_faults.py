@@ -17,6 +17,7 @@ import time
 import pytest
 
 from repro.attacks.scenarios import corrupt_record_in_place
+from repro.cluster import netutil
 from repro.cluster import (
     BackgroundServer,
     ClusterClient,
@@ -28,7 +29,12 @@ from repro.cluster import (
     Shard,
     build_replicated_cluster,
 )
-from repro.errors import ClusterTimeoutError, IntegrityError, ShardCrashedError
+from repro.errors import (
+    ClusterTimeoutError,
+    IntegrityError,
+    ShardCrashedError,
+    ShardUnreachableError,
+)
 from repro.server import protocol
 from repro.server.protocol import (
     STATUS_INTEGRITY_FAILURE,
@@ -55,6 +61,32 @@ class TestFaultPlan:
             FaultEvent("meteor", "s0", 1)
         with pytest.raises(ValueError):
             FaultEvent("kill", "s0", -1)
+
+    def test_unknown_kind_is_a_typed_error(self):
+        from repro.errors import ConfigurationError, UnknownFaultKindError
+
+        # Catchable as config misuse or as the historical ValueError.
+        assert issubclass(UnknownFaultKindError, ConfigurationError)
+        assert issubclass(UnknownFaultKindError, ValueError)
+        with pytest.raises(UnknownFaultKindError, match="meteor"):
+            FaultEvent("meteor", "s0", 1)
+        # The plan constructor re-validates, so a hand-built event with a
+        # forged kind cannot smuggle its way into a schedule.
+        forged = FaultEvent("kill", "s0", 1)
+        object.__setattr__(forged, "kind", "meteor")
+        with pytest.raises(UnknownFaultKindError, match="meteor"):
+            FaultPlan([forged])
+
+    def test_partition_events_schedule_like_any_other(self):
+        plan = FaultPlan().partition("s0", at=4, seconds=1.5)
+        [event] = plan.pop_due("s0", 4)
+        assert event.kind == "partition"
+        assert event.seconds == 1.5
+        chaos = FaultPlan.chaos(["s0", "s1"], horizon=500, n_kills=0,
+                                n_corrupts=0, n_partitions=3, seed=2)
+        kinds = [e.kind for t in ("s0", "s1") for e in chaos.events_for(t)]
+        assert kinds.count("partition") == 3
+        assert "n_partitions=3" in chaos.spec
 
     def test_chaos_is_deterministic_in_its_seed(self):
         a = FaultPlan.chaos(["s0", "s1"], horizon=1000, seed=7)
@@ -110,6 +142,36 @@ class TestFaultyShard:
             Shard("s0", epc_bytes=256 * 1024, capacity_keys=64))
         shard.corrupt()
         assert shard.corruptions == 0
+
+    def test_partition_blackholes_then_reconnects_without_restart(self):
+        plan = FaultPlan().partition("s0", at=3)
+        shard = FaultyShard(
+            Shard("s0", epc_bytes=256 * 1024, capacity_keys=64), plan)
+        shard.server.flush_batch([protocol.put(b"k", b"v")])
+        with pytest.raises(ShardUnreachableError):
+            shard.server.flush_batch([protocol.get(b"k"),
+                                      protocol.get(b"k")])
+        assert shard.partitioned and not shard.crashed
+        with pytest.raises(ShardUnreachableError):
+            shard.store  # unreachable enclaves don't answer either...
+        assert shard.reconnect() is True  # duration 0: healable at once
+        assert not shard.partitioned
+        # ...but unlike a kill, the state was never lost: no restart.
+        assert shard.store.get(b"k") == b"v"
+        assert shard.restarts == 0
+        assert shard.reconnects == 1
+        row = shard.stats()
+        assert row["partitions"] == 1 and row["reconnects"] == 1
+
+    def test_partition_heal_window_gates_reconnect(self):
+        shard = FaultyShard(
+            Shard("s0", epc_bytes=256 * 1024, capacity_keys=64))
+        shard.partition(60.0)  # far-future heal deadline
+        assert shard.reconnect() is False  # still black-holed
+        assert shard.partitioned
+        shard.heal()  # collapse the window
+        assert shard.reconnect() is True
+        assert not shard.partitioned
 
 
 class TestTamperAgainstRunningCluster:
@@ -206,7 +268,10 @@ class TestNetFaults:
                 assert response.value == b"v"
                 assert client.retried_reads == 1
                 assert client.reconnects == 1
-                assert naps == [0.01]  # backoff actually applied
+                # Backoff actually applied: the base delay plus at most
+                # the jitter slice (see repro.cluster.netutil.jittered).
+                assert len(naps) == 1
+                assert 0.01 <= naps[0] <= 0.01 * (1 + netutil.RETRY_JITTER)
                 assert background.server.frames_dropped == 1
             finally:
                 client.close()
@@ -264,7 +329,10 @@ class TestNetFaults:
         with pytest.raises(ClusterTimeoutError):
             client._retrying_single(protocol.get(b"k"))
         assert calls["n"] == 5  # 1 try + 4 retries
-        assert naps == [0.1, 0.2, 0.25, 0.25]  # doubled, then capped
+        # Doubled then capped, each nap stretched by at most the jitter
+        # fraction — never shortened, so the cap is still a floor here.
+        for nap, base in zip(naps, [0.1, 0.2, 0.25, 0.25]):
+            assert base <= nap <= base * (1 + netutil.RETRY_JITTER)
 
     def test_health_probe_over_the_wire(self, replicated_server):
         import json
