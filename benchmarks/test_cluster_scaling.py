@@ -16,6 +16,7 @@ import pytest
 
 from repro.bench.experiments import (
     cluster_durability,
+    cluster_overload,
     cluster_process_backend,
     cluster_rebalance,
     cluster_replication,
@@ -201,6 +202,43 @@ def test_socket_backend_overhead(run_experiment):
     result.note(f"wall-clock socket/inline ratio: {ratio:.2f}x "
                 "(informational, host-dependent)")
     assert sock["wall_s"] > 0
+
+
+@pytest.mark.overload
+@pytest.mark.dist
+def test_overload_storm_goodput(run_experiment):
+    result = run_experiment(cluster_overload, scale=bench_scale(2048),
+                            n_ops=2000)
+
+    for backend in ("inline", "process", "socket"):
+        (calm,) = result.where(backend=backend, phase="calm")
+        (storm,) = result.where(backend=backend, phase="storm")
+
+        # Calm: the armed layer is invisible — nothing shed, no trips,
+        # full goodput.
+        assert calm["goodput"] == 1.0
+        assert calm["shed"] == 0
+        assert calm["breaker_trips"] == 0
+
+        # Storm: the breaker tripped and contained the slow shard — the
+        # layer shed hot-partition writes (typed, with retry_after) but
+        # goodput degraded gracefully instead of collapsing.
+        assert storm["breaker_trips"] >= 1
+        assert storm["shed"] > 0
+        assert storm["goodput"] >= 0.6 * calm["goodput"], (
+            backend, storm["goodput"])
+
+    # Overload decisions are untrusted parent-side work: the enclaves'
+    # simulated cycles and outputs — storm phase included — are
+    # byte-for-byte identical across all three backends.
+    for phase in ("calm", "storm"):
+        (inline,) = result.where(backend="inline", phase=phase)
+        (process,) = result.where(backend="process", phase=phase)
+        (sock,) = result.where(backend="socket", phase=phase)
+        for column in ("responses_sha256", "cycles_sum", "goodput",
+                       "shed", "breaker_trips"):
+            assert inline[column] == process[column], (column, phase)
+            assert inline[column] == sock[column], (column, phase)
 
 
 def test_durability_overhead(run_experiment):

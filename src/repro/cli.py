@@ -196,6 +196,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.replication < 1:
         print("--replication must be at least 1", file=sys.stderr)
         return 1
+    if args.max_inflight is not None and args.max_inflight < 1:
+        print("--max-inflight must be at least 1", file=sys.stderr)
+        return 1
+    if args.max_connections is not None and args.max_connections < 1:
+        print("--max-connections must be at least 1", file=sys.stderr)
+        return 1
     if args.durable and not args.data_dir:
         print("--durable needs --data-dir (where the sealed snapshot/log "
               "files live)", file=sys.stderr)
@@ -278,6 +284,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         coordinator.attach_health_monitor(HealthMonitor(coordinator))
     if args.balance:
         coordinator.attach_balancer(HotShardBalancer(coordinator))
+    overloaded_door = (args.max_inflight is not None
+                       or args.max_connections is not None)
+    if overloaded_door:
+        # A capped front door also arms the coordinator's overload layer
+        # (per-shard breakers, deadline shedding, auto-brownout).
+        coordinator.enable_overload()
     if args.insecure and args.require_encryption:
         print("error: --insecure and --require-encryption are mutually "
               "exclusive")
@@ -290,7 +302,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         security = "optional"
     server = ClusterNetServer(coordinator, host=args.host, port=args.port,
                               max_requests=args.max_requests,
-                              security=security)
+                              security=security,
+                              max_inflight=args.max_inflight,
+                              max_connections=args.max_connections)
 
     async def run() -> None:
         host, port = await server.start()
@@ -307,6 +321,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(f"  {shard_id}: restored {len(state.pairs)} keys "
                       f"(epoch {state.epoch}, {state.batches_replayed} "
                       "batches replayed)")
+        if overloaded_door:
+            print("  overload: max in-flight "
+                  f"{args.max_inflight if args.max_inflight else 'unlimited'}"
+                  ", max connections "
+                  f"{args.max_connections if args.max_connections else 'unlimited'}"  # noqa: E501
+                  ", per-shard breakers armed")
         if server.sessions is not None:
             print(f"  gateway measurement {server.sessions.measurement.hex()}")
         for shard in coordinator.shard_list():
@@ -331,6 +351,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         report = coordinator.stats().report()["shards"]
         print(f"served {server.requests_served} requests "
               f"in {server.frames_served} frames")
+        if overloaded_door:
+            shed = server.wire_stats()["overload"]
+            print(f"  overload: shed {shed['requests_shed']} requests "
+                  f"({shed['frames_shed']} frames), peak in-flight "
+                  f"{shed['max_inflight_seen']}, "
+                  f"{shed['connections_refused']} connections refused")
         if server.sessions is not None:
             gateway = server.wire_stats()["gateway"]
             print(f"  wire: {gateway['handshakes']} handshakes, "
@@ -429,6 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-requests", type=int, default=None,
                        help="stop after serving this many request frames "
                             "(default: serve until interrupted)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="admission cap: request frames executing or "
+                            "queued at once — excess is shed with "
+                            "STATUS_OVERLOADED + retry_after; also arms "
+                            "the coordinator's per-shard circuit breakers")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       help="refuse TCP connections beyond this count "
+                            "(closed without reply)")
     serve.add_argument("--insecure", action="store_true",
                        help="v1 plaintext only: refuse encrypted-session "
                             "handshakes (prices the unprotected baseline)")

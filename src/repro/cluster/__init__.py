@@ -33,7 +33,10 @@ front door:
   (kill / corrupt / partition / net delay / drop / close) on replayable
   schedules;
 * :mod:`~repro.cluster.health` — replica health tracking, restart, and
-  trusted-path re-sync.
+  trusted-path re-sync;
+* :mod:`~repro.cluster.overload` — admission control and graceful
+  degradation: deadline budgets, token buckets, retry budgets, and
+  per-shard circuit breakers (see ARCHITECTURE §14).
 """
 
 from repro.cluster.backend import (
@@ -66,6 +69,7 @@ from repro.cluster.faults import (
     PARTITION,
     REPLAY,
     ROLLBACK,
+    SLOW,
     TAMPER,
     TORN,
     TRUNCATE,
@@ -99,8 +103,17 @@ from repro.cluster.netserver import (
     ClusterClient,
     ClusterNetServer,
     DEFAULT_CLIENT_TIMEOUT,
+    DEFAULT_RETRY_RATIO,
     FRAME_HEADER,
     SECURITY_POLICIES,
+)
+from repro.cluster.overload import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    OverloadConfig,
+    RetryBudget,
+    TokenBucket,
 )
 from repro.cluster.session import (
     ATTESTATION_ROOT,
@@ -132,6 +145,8 @@ __all__ = [
     "CLOSE",
     "CORRUPT",
     "CTR_RESET",
+    "BreakerState",
+    "CircuitBreaker",
     "ClientHandshake",
     "ClusterClient",
     "ClusterCoordinator",
@@ -141,7 +156,9 @@ __all__ = [
     "DEFAULT_CHECK_EVERY",
     "DEFAULT_CLIENT_TIMEOUT",
     "DEFAULT_REPLICATION",
+    "DEFAULT_RETRY_RATIO",
     "DEFAULT_VNODES",
+    "Deadline",
     "DELAY",
     "DOWNGRADE",
     "DROP",
@@ -158,6 +175,7 @@ __all__ = [
     "KILL",
     "MigrationReport",
     "NET_TARGET",
+    "OverloadConfig",
     "PARTITION",
     "ProcessBackend",
     "ProcessShard",
@@ -168,10 +186,13 @@ __all__ = [
     "ReplicaState",
     "RecoveryReport",
     "ResyncReport",
+    "RetryBudget",
     "SECURITY_POLICIES",
+    "SLOW",
     "SecureSession",
     "SessionManager",
     "Shard",
+    "TokenBucket",
     "ShardBackend",
     "ShardHost",
     "SocketBackend",

@@ -19,10 +19,12 @@ even though different shards flush independently.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional
+import time
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.bench.harness import PAPER_EPC_BYTES
 from repro.cluster.backend import BackendSpec
+from repro.cluster.overload import CircuitBreaker, Deadline, OverloadConfig
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, VnodeSpec
 from repro.cluster.shard import Shard, build_shards
 from repro.cluster.stats import ClusterStats
@@ -52,16 +54,94 @@ class _Flight:
     the whole stream has been dispatched.
     """
 
-    __slots__ = ("shard_id", "seqs", "flushed", "error", "ticket", "server")
+    __slots__ = ("shard_id", "seqs", "flushed", "error", "ticket", "server",
+                 "started", "latency", "sampled")
 
     def __init__(self, shard_id, seqs, *, flushed=None, error=None,
-                 ticket=None, server=None):
+                 ticket=None, server=None, started=None, latency=None,
+                 sampled=False):
         self.shard_id = shard_id
         self.seqs = seqs
         self.flushed = flushed
         self.error = error
         self.ticket = ticket
         self.server = server
+        #: Overload bookkeeping: dispatch timestamp, measured flush
+        #: latency, and whether this flight feeds a breaker sample (shed
+        #: and fallback flights never touched the primary, so they don't).
+        self.started = started
+        self.latency = latency
+        self.sampled = sampled
+
+
+class _OverloadState:
+    """The coordinator's overload machinery: breakers, brownout, counters.
+
+    Created by :meth:`ClusterCoordinator.enable_overload`; all decisions
+    are untrusted parent-side work and never charge a shard meter, so a
+    cluster with the layer *enabled but unstressed* stays bit-identical to
+    one without it on every simulated column.
+    """
+
+    def __init__(self, config: OverloadConfig,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config
+        self.clock = clock
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.deadline_shed = 0
+        self.breaker_shed = 0
+        self.brownout_shed = 0
+        self.breaker_read_routes = 0
+        self.brownout_engagements = 0
+        self._brownout_since: Optional[float] = None
+        self._brownout_total = 0.0
+
+    def breaker_for(self, shard_id: str) -> CircuitBreaker:
+        breaker = self.breakers.get(shard_id)
+        if breaker is None:
+            breaker = self.config.make_breaker(self.clock)
+            self.breakers[shard_id] = breaker
+        return breaker
+
+    def update_brownout(self, recovering: bool) -> bool:
+        """Track brownout engage/disengage; returns whether it is active."""
+        active = recovering and self.config.brownout == "auto"
+        now = self.clock()
+        if active and self._brownout_since is None:
+            self._brownout_since = now
+            self.brownout_engagements += 1
+        elif not active and self._brownout_since is not None:
+            self._brownout_total += now - self._brownout_since
+            self._brownout_since = None
+        return self._brownout_since is not None
+
+    def brownout_seconds(self) -> float:
+        total = self._brownout_total
+        if self._brownout_since is not None:
+            total += self.clock() - self._brownout_since
+        return total
+
+    def shed_response(self, retry_after: float, reason: bytes) -> Response:
+        return protocol.overloaded(retry_after or self.config.retry_after,
+                                   reason)
+
+    def stats(self) -> dict:
+        shed = self.deadline_shed + self.breaker_shed + self.brownout_shed
+        return {
+            "shed": shed,
+            "deadline_shed": self.deadline_shed,
+            "breaker_shed": self.breaker_shed,
+            "brownout_shed": self.brownout_shed,
+            "breaker_read_routes": self.breaker_read_routes,
+            "breaker_trips": sum(b.trips for b in self.breakers.values()),
+            "breakers_open": sum(
+                1 for b in self.breakers.values()
+                if b.state.value != "closed"),
+            "brownout_engagements": self.brownout_engagements,
+            "brownout_seconds": self.brownout_seconds(),
+            "breakers": {sid: b.stats()
+                         for sid, b in sorted(self.breakers.items())},
+        }
 
 
 class ClusterCoordinator:
@@ -95,8 +175,28 @@ class ClusterCoordinator:
         self.ops_routed = 0
         #: Whole-flush failures converted to per-request error responses.
         self.flush_failures = 0
+        #: Overload layer (breakers, deadline shedding, brownout); None
+        #: until :meth:`enable_overload`.
+        self._overload: Optional[_OverloadState] = None
 
     # -- wiring -------------------------------------------------------------------
+
+    def enable_overload(self, config: Optional[OverloadConfig] = None,
+                        *, clock: Callable[[], float] = time.monotonic,
+                        ) -> "_OverloadState":
+        """Arm the overload layer: per-shard breakers, deadline shedding,
+        and (with a health monitor attached) automatic brownout.
+
+        Idempotent-ish: calling again replaces the state wholesale, so a
+        test can re-arm with a different config.  ``clock`` is injectable
+        for deterministic breaker tests.
+        """
+        self._overload = _OverloadState(config or OverloadConfig(), clock)
+        return self._overload
+
+    @property
+    def overload(self) -> Optional[_OverloadState]:
+        return self._overload
 
     def attach_balancer(self, balancer) -> None:
         """Give the balancer a look after every executed batch."""
@@ -114,7 +214,8 @@ class ClusterCoordinator:
 
     # -- the batched request path -------------------------------------------------
 
-    def execute(self, requests: Iterable[Request]) -> List[Response]:
+    def execute(self, requests: Iterable[Request],
+                *, deadline: Optional[Deadline] = None) -> List[Response]:
         """Route, batch, flush; returns responses positionally.
 
         Buffers per shard and flushes a shard the moment its buffer fills,
@@ -124,27 +225,46 @@ class ClusterCoordinator:
         shards execute in their workers while dispatch continues, and
         their responses are collected afterwards — either way a shard's
         batches run in dispatch order, preserving per-key ordering.
+
+        With the overload layer armed (:meth:`enable_overload`),
+        ``deadline`` is the request frame's remaining budget: buckets that
+        would dispatch after it expires are shed with
+        ``Status.OVERLOADED`` instead of queueing dead work, and remote
+        collects are bounded by the remaining budget plus one RPC grace.
+        Brownout (health monitor mid-recovery) sheds writes up front, and
+        each shard's circuit breaker gates its dispatches.
         """
         requests = list(requests)
         responses: List[Optional[Response]] = [None] * len(requests)
         pending: Dict[str, List[int]] = {sid: [] for sid in self.shards}
         inflight: List[_Flight] = []
+        over = self._overload
+        brownout = False
+        if over is not None and self._health_monitor is not None:
+            brownout = over.update_brownout(self._health_monitor.recovering())
         for seq, request in enumerate(requests):
             if request.opcode == OpCode.HEALTH:
                 # Answered at the front door, never routed to an enclave.
                 responses[seq] = self.health_response()
                 continue
+            if brownout and request.opcode != OpCode.GET:
+                over.brownout_shed += 1
+                responses[seq] = over.shed_response(
+                    0.0, b"brownout: recovery in progress")
+                continue
             shard_id = self.ring.route(request.key)
             bucket = pending[shard_id]
             bucket.append(seq)
             if len(bucket) >= self.batch_window:
-                inflight.append(self._dispatch(shard_id, bucket, requests))
+                inflight.append(
+                    self._dispatch(shard_id, bucket, requests, deadline))
                 pending[shard_id] = []
         for shard_id, bucket in pending.items():
             if bucket:
-                inflight.append(self._dispatch(shard_id, bucket, requests))
+                inflight.append(
+                    self._dispatch(shard_id, bucket, requests, deadline))
         for flight in inflight:
-            self._collect(flight, responses)
+            self._collect(flight, responses, deadline)
         self.ops_routed += len(requests)
         if self._balancer is not None:
             self._balancer.observe(len(requests))
@@ -153,32 +273,108 @@ class ClusterCoordinator:
         return responses  # type: ignore[return-value]  # all slots filled
 
     def _dispatch(self, shard_id: str, seqs: List[int],
-                  requests: List[Request]) -> _Flight:
-        """Hand one shard its batch; pipelined when the server supports it."""
+                  requests: List[Request],
+                  deadline: Optional[Deadline] = None) -> _Flight:
+        """Hand one shard its batch; pipelined when the server supports it.
+
+        Overload gates run first: an expired deadline sheds the bucket
+        (work that cannot finish in time must not queue behind work that
+        can), and an open breaker sheds writes while routing reads to a
+        live secondary where the shard is a replica group.
+        """
+        over = self._overload
+        if over is not None:
+            if deadline is not None and deadline.expired():
+                over.deadline_shed += len(seqs)
+                shed = over.shed_response(0.0, b"deadline expired")
+                return _Flight(shard_id, seqs, flushed=[shed] * len(seqs))
+            breaker = over.breaker_for(shard_id)
+            if not breaker.allow():
+                return self._breaker_shed(shard_id, seqs, requests,
+                                          breaker, over)
         shard = self.shards[shard_id]
         shard.ops_routed += len(seqs)
         batch = [requests[s] for s in seqs]
         submit = getattr(shard.server, "flush_submit", None)
+        started = over.clock() if over is not None else None
         try:
             if submit is None:
-                return _Flight(shard_id, seqs,
-                               flushed=list(shard.server.flush_batch(batch)))
+                flushed = list(shard.server.flush_batch(batch))
+                latency = (over.clock() - started
+                           if over is not None else None)
+                return _Flight(shard_id, seqs, flushed=flushed,
+                               latency=latency, sampled=over is not None)
             return _Flight(shard_id, seqs, ticket=submit(batch),
-                           server=shard.server)
+                           server=shard.server, started=started,
+                           sampled=over is not None)
         except AriaError as exc:
-            return _Flight(shard_id, seqs, error=exc)
+            latency = over.clock() - started if over is not None else None
+            return _Flight(shard_id, seqs, error=exc, latency=latency,
+                           sampled=over is not None)
+
+    def _breaker_shed(self, shard_id: str, seqs: List[int],
+                      requests: List[Request], breaker: CircuitBreaker,
+                      over: "_OverloadState") -> _Flight:
+        """The open-breaker path: reads to a secondary, writes shed.
+
+        A replica group exposes :meth:`~repro.cluster.replication
+        .ReplicaGroup.flush_reads_fallback`; reads go there (a different
+        enclave than the slow primary, so no breaker sample is taken).
+        Everything else — writes always, reads on an unreplicated shard —
+        is shed with the breaker's own countdown as the retry_after hint.
+        """
+        shard = self.shards[shard_id]
+        shed = over.shed_response(breaker.retry_after(),
+                                  b"breaker open: " + shard_id.encode())
+        flushed: List[Response] = [shed] * len(seqs)
+        fallback = getattr(shard.server, "flush_reads_fallback", None)
+        read_pos = [i for i, s in enumerate(seqs)
+                    if requests[s].opcode == OpCode.GET]
+        if fallback is not None and read_pos:
+            try:
+                served = list(fallback(
+                    [requests[seqs[i]] for i in read_pos]))
+            except AriaError:
+                served = None
+            if served is not None:
+                for i, response in zip(read_pos, served):
+                    flushed[i] = response
+                over.breaker_read_routes += len(read_pos)
+                shard.ops_routed += len(read_pos)
+        over.breaker_shed += sum(
+            1 for r in flushed if r.status == Status.OVERLOADED)
+        return _Flight(shard_id, seqs, flushed=flushed)
 
     def _collect(self, flight: _Flight,
-                 responses: List[Optional[Response]]) -> None:
+                 responses: List[Optional[Response]],
+                 deadline: Optional[Deadline] = None) -> None:
         """Settle one flight; a failing shard costs error responses, not
         the batch: every request it owned gets ``Status.UNAVAILABLE`` and
         the other shards' response slots are untouched."""
+        over = self._overload
         flushed = flight.flushed
         if flight.error is None and flushed is None:
             try:
-                flushed = flight.server.flush_collect(flight.ticket)
+                if over is not None and deadline is not None:
+                    # The per-shard RPC deadline: remaining budget plus one
+                    # grace period.  Exceeding it treats the shard as hung
+                    # (ShardCrashedError), which the breaker then counts.
+                    timeout = deadline.remaining() + over.config.rpc_grace
+                    try:
+                        flushed = flight.server.flush_collect(
+                            flight.ticket, timeout=timeout)
+                    except TypeError:
+                        flushed = flight.server.flush_collect(flight.ticket)
+                else:
+                    flushed = flight.server.flush_collect(flight.ticket)
             except AriaError as exc:
                 flight.error = exc
+        if over is not None and flight.sampled:
+            latency = flight.latency
+            if latency is None:
+                latency = over.clock() - flight.started
+            over.breaker_for(flight.shard_id).record(
+                flight.error is None, latency)
         if flight.error is not None:
             self.flush_failures += 1
             error = Response(
@@ -263,6 +459,8 @@ class ClusterCoordinator:
             "ops_routed": self.ops_routed,
             "flush_failures": self.flush_failures,
         }
+        if self._overload is not None:
+            summary["overload"] = self._overload.stats()
         return Response(Status.OK,
                         json.dumps(summary, sort_keys=True).encode())
 
@@ -284,7 +482,9 @@ class ClusterCoordinator:
 
     def stats(self) -> ClusterStats:
         """A fresh delta window over every shard (see ClusterStats)."""
-        return ClusterStats(self.shard_list())
+        overload = self._overload.stats if self._overload is not None \
+            else None
+        return ClusterStats(self.shard_list(), overload=overload)
 
     # -- lifecycle ----------------------------------------------------------------
 

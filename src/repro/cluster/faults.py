@@ -57,6 +57,13 @@ CORRUPT = "corrupt"
 # its state survive on the far side, so recovery is a reconnect +
 # re-handshake + delta re-sync, never a rebuild.
 PARTITION = "partition"
+# The enclave is alive and correct but *stalled*: every flush takes
+# ``seconds`` of extra wall-clock (EPC thrashing, a paging storm, a noisy
+# neighbour).  Distinct from KILL (nothing died) and PARTITION (frames
+# are answered, just late) — the failure mode circuit breakers exist
+# for, because a slow shard stalls whole batches without tripping any
+# crash or integrity alarm.
+SLOW = "slow"
 DELAY = "delay"
 DROP = "drop"
 CLOSE = "close"
@@ -79,7 +86,7 @@ CTR_RESET = "ctr_reset"  # attacker wipes the monotonic counter
 #: The FaultPlan target consumed by the TCP front door.
 NET_TARGET = "net"
 
-_SHARD_KINDS = {KILL, CORRUPT, PARTITION}
+_SHARD_KINDS = {KILL, CORRUPT, PARTITION, SLOW}
 _NET_KINDS = {DELAY, DROP, CLOSE, TAMPER, REPLAY, DOWNGRADE}
 _DUR_KINDS = {TORN, TRUNCATE, IO_ERROR, CAPTURE, ROLLBACK, CTR_RESET}
 
@@ -114,7 +121,8 @@ class FaultEvent:
     target: str
     at: int
     key: bytes = b""        # CORRUPT: record to tamper (b"" = first key)
-    seconds: float = 0.0    # DELAY: stall; PARTITION: heal window
+    seconds: float = 0.0    # DELAY/SLOW: stall; PARTITION: heal window
+    ops: int = 0            # SLOW: flushes to stall (0 = until heal())
 
     def __post_init__(self):
         if self.kind not in _SHARD_KINDS | _NET_KINDS | _DUR_KINDS:
@@ -169,6 +177,14 @@ class FaultPlan:
         soon as the health monitor notices (transient blip).
         """
         return self._add(FaultEvent(PARTITION, target, at, seconds=seconds))
+
+    def slow(self, target: str, at: int, seconds: float,
+             ops: int = 0) -> "FaultPlan":
+        """Stall every flush of ``target`` by ``seconds`` from the
+        ``at``-th op on.  ``ops`` bounds how many flushes stall (0 = the
+        stall persists until :meth:`FaultyShard.heal`)."""
+        return self._add(FaultEvent(SLOW, target, at, seconds=seconds,
+                                    ops=ops))
 
     def delay(self, at: int, seconds: float,
               target: str = NET_TARGET) -> "FaultPlan":
@@ -262,6 +278,8 @@ class FaultPlan:
                     extra += f" key={event.key.hex()}"
                 if event.seconds:
                     extra += f" seconds={event.seconds}"
+                if event.ops:
+                    extra += f" ops={event.ops}"
                 lines.append(f"  {event.kind:>9} @ {event.at:<6} "
                              f"-> {target} [{fired}]{extra}")
         return "\n".join(lines)
@@ -278,6 +296,7 @@ class FaultPlan:
                     "at": e.at,
                     "key": e.key.hex(),
                     "seconds": e.seconds,
+                    "ops": e.ops,
                     "fired": id(e) in self._fired,
                 }
                 for events in self._by_target.values() for e in events
@@ -295,6 +314,9 @@ class FaultPlan:
         n_kills: int = 2,
         n_corrupts: int = 2,
         n_partitions: int = 0,
+        n_slows: int = 0,
+        slow_seconds: float = 0.02,
+        slow_ops: int = 8,
         min_gap: int = 0,
         seed: int = 0,
         dur_targets: Optional[List[str]] = None,
@@ -321,7 +343,7 @@ class FaultPlan:
             raise ValueError("chaos needs at least one target")
         rng = random.Random(seed)
         kinds = ([KILL] * n_kills + [CORRUPT] * n_corrupts
-                 + [PARTITION] * n_partitions)
+                 + [PARTITION] * n_partitions + [SLOW] * n_slows)
         rng.shuffle(kinds)
         points: List[int] = []
         at = 0
@@ -329,7 +351,9 @@ class FaultPlan:
             at = max(at + min_gap, rng.randrange(1, max(2, horizon)))
             points.append(at)
         events = [
-            FaultEvent(kind, rng.choice(targets), at)
+            FaultEvent(kind, rng.choice(targets), at,
+                       seconds=slow_seconds if kind == SLOW else 0.0,
+                       ops=slow_ops if kind == SLOW else 0)
             for kind, at in zip(kinds, sorted(points))
         ]
         if dur_targets and n_dur:
@@ -343,7 +367,7 @@ class FaultPlan:
                 ))
         spec = (f"FaultPlan.chaos(targets={targets!r}, horizon={horizon}, "
                 f"n_kills={n_kills}, n_corrupts={n_corrupts}, "
-                f"n_partitions={n_partitions}, "
+                f"n_partitions={n_partitions}, n_slows={n_slows}, "
                 f"min_gap={min_gap}, seed={seed}")
         if dur_targets and n_dur:
             spec += (f", dur_targets={dur_targets!r}, n_dur={n_dur}, "
@@ -398,6 +422,15 @@ class _FaultyServer:
             raise ShardUnreachableError(
                 f"shard {owner.shard_id} is unreachable (partitioned)"
             )
+        # A SLOW stall happens here, in the parent-side request path, so the
+        # failure signature — the flush call takes `seconds` longer, nothing
+        # raises — is identical across inline/process/socket backends, just
+        # like PARTITION black-holing.
+        if owner.stalled:
+            owner.stalls += 1
+            if owner._stall_ops_left is not None:
+                owner._stall_ops_left -= 1
+            time.sleep(owner._stall_seconds)
         return owner.inner.server.flush_batch(requests)
 
 
@@ -427,8 +460,11 @@ class FaultyShard:
         self.corruptions = 0
         self.partitions = 0
         self.reconnects = 0
+        self.stalls = 0
         self._partitioned = False
         self._heal_at = 0.0
+        self._stall_seconds = 0.0
+        self._stall_ops_left: Optional[int] = None
         self._server = _FaultyServer(self)
 
     # -- fault application --------------------------------------------------------
@@ -440,6 +476,8 @@ class FaultyShard:
             self.corrupt(event.key)
         elif event.kind == PARTITION:
             self.partition(event.seconds)
+        elif event.kind == SLOW:
+            self.stall(event.seconds, event.ops)
         else:  # pragma: no cover - plans are validated at construction
             raise ValueError(f"shard cannot apply fault {event.kind!r}")
 
@@ -496,11 +534,39 @@ class FaultyShard:
         self.crashed = False
         self._partitioned = False
         self._heal_at = 0.0
+        self._stall_seconds = 0.0
+        self._stall_ops_left = None
         self.restarts += 1
         close = getattr(old, "close", None)
         if close is not None:
             close()  # reap the dead worker's process entry and pipe
         return self.inner
+
+    # -- stalls -------------------------------------------------------------------
+
+    def stall(self, seconds: float, ops: int = 0) -> None:
+        """Make every flush take ``seconds`` of extra wall-clock.
+
+        The enclave stays alive, correct, and metered exactly as before —
+        only the *latency* of the parent-side flush changes, which is what
+        makes SLOW invisible to crash/integrity alarms and the reason
+        circuit breakers key on latency.  ``ops`` bounds how many flushes
+        stall (0 = until :meth:`heal`).
+        """
+        if self.crashed:
+            return
+        self._stall_seconds = float(seconds)
+        self._stall_ops_left = int(ops) if ops > 0 else None
+
+    @property
+    def stalled(self) -> bool:
+        if self._stall_seconds <= 0.0:
+            return False
+        if self._stall_ops_left is not None and self._stall_ops_left <= 0:
+            self._stall_seconds = 0.0
+            self._stall_ops_left = None
+            return False
+        return True
 
     # -- partitions ---------------------------------------------------------------
 
@@ -525,8 +591,13 @@ class FaultyShard:
         self._heal_at = time.monotonic() + duration
 
     def heal(self) -> None:
-        """Collapse the remaining heal window; the next reconnect succeeds."""
+        """Collapse the remaining heal window; the next reconnect succeeds.
+
+        Also lifts any :meth:`stall`: a healed shard serves at full speed.
+        """
         self._heal_at = 0.0
+        self._stall_seconds = 0.0
+        self._stall_ops_left = None
         heal = getattr(self.inner, "heal", None)
         if heal is not None:
             heal()
@@ -613,6 +684,7 @@ class FaultyShard:
         row["restarts"] = self.restarts
         row["partitions"] = self.partitions
         row["reconnects"] = self.reconnects
+        row["stalls"] = self.stalls
         return row
 
     def close(self, timeout: float = 5.0) -> None:

@@ -280,6 +280,22 @@ class HealthMonitor:
 
     # -- reporting ----------------------------------------------------------------
 
+    def recovering(self) -> bool:
+        """True while any replica is not UP — the brownout signal.
+
+        The overload layer sheds writes while this holds (reads still
+        served): a mid-recovery group is one failure away from losing
+        the partition, and re-sync traffic is competing with the write
+        fan-out for the same enclaves.
+        """
+        for group in self._coordinator.shard_list():
+            replicas = getattr(group, "replicas", None)
+            if not replicas:
+                continue
+            if any(r.state is not ReplicaState.UP for r in replicas):
+                return True
+        return False
+
     def total_resyncs(self) -> int:
         return len(self.history)
 

@@ -32,6 +32,16 @@ little-endian length prefix::
   Wire attacks from the fault plan (``tamper``/``replay``/``downgrade``)
   are staged here, acting as the deterministic on-path adversary; the
   matching alarms count what the session layer caught.
+* **Bounded admission** — ``max_inflight`` caps how many request frames
+  may be admitted (executing or queued) at once; excess frames wait on a
+  LIFO stack and are shed with ``STATUS_OVERLOADED`` + ``retry_after``
+  when the stack is full or their deadline budget runs out while queued
+  (newest-first service: under overload the freshest work has the most
+  budget left).  ``max_connections`` refuses connections beyond the cap
+  outright.  Clients attach deadline budgets as a wire envelope
+  (:func:`repro.server.protocol.wrap_deadline`); the front door strips
+  the envelope, sheds already-expired frames without executing them, and
+  hands the remaining budget to the coordinator's overload layer.
 * **Graceful shutdown** — :meth:`ClusterNetServer.stop` stops accepting,
   lets in-flight frames finish, closes every connection, and wakes
   :meth:`serve_forever`.
@@ -65,12 +75,15 @@ from repro.cluster.faults import (
     WIRE_KINDS,
     FaultPlan,
 )
+from repro.cluster.overload import Deadline, RetryBudget
 from repro.cluster.session import ClientHandshake, SecureSession, SessionManager
 from repro.errors import (
     ClusterConnectionError,
     ClusterTimeoutError,
     ConfigurationError,
+    DeadlineExceededError,
     HandshakeError,
+    OverloadedError,
     ProtocolError,
     ReplayError,
     StaleSessionError,
@@ -87,6 +100,11 @@ DEFAULT_CLIENT_TIMEOUT = 5.0
 DEFAULT_READ_RETRIES = 2
 DEFAULT_BACKOFF = 0.05
 DEFAULT_BACKOFF_CAP = 1.0
+#: Retries may never exceed this fraction of fresh load (anti-retry-storm).
+DEFAULT_RETRY_RATIO = 0.1
+
+#: retry_after hint (seconds) on frames the front door sheds itself.
+DEFAULT_SHED_RETRY_AFTER = 0.05
 
 SECURITY_POLICIES = ("optional", "required", "plaintext")
 
@@ -99,6 +117,90 @@ _UNSET = object()
 def _flip_bit(frame: bytes) -> bytes:
     """The on-path adversary's tamper: one bit of the last byte (the tag)."""
     return frame[:-1] + bytes([frame[-1] ^ 0x01])
+
+
+class _AdmissionGate:
+    """A global in-flight cap with LIFO queueing and deadline shedding.
+
+    A frame holds a slot from admission until its response is written.
+    When every slot is busy, new frames wait on a *stack*: service is
+    newest-first, because under sustained overload the freshest frame has
+    the most deadline budget left and FIFO would drain the queue in
+    oldest-first order — serving exactly the work most likely to be dead
+    on arrival.  The queue is bounded at ``capacity`` waiters; when it
+    fills, the *oldest* waiter is shed (it has waited longest and is the
+    least likely to make its deadline).  A waiter whose own deadline
+    expires while queued is shed the moment a slot would reach it, or by
+    its wait timeout — whichever comes first.
+
+    Single event loop, no locks: slots hand over directly from
+    :meth:`release` to the newest live waiter, so ``inflight`` can never
+    overshoot ``capacity`` (``max_seen`` records the high-water mark for
+    the acceptance test's cap assertion).
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.inflight = 0
+        self.max_seen = 0
+        self._waiters: List[Tuple[asyncio.Future, Optional[Deadline]]] = []
+        self.shed_queue_full = 0
+        self.shed_expired = 0
+
+    def _admit(self) -> None:
+        self.inflight += 1
+        if self.inflight > self.max_seen:
+            self.max_seen = self.inflight
+
+    async def acquire(self, deadline: Optional[Deadline]) -> bool:
+        """Wait for a slot; False = shed (answer OVERLOADED, don't run)."""
+        if self.inflight < self.capacity:
+            self._admit()
+            return True
+        if deadline is not None and deadline.expired():
+            self.shed_expired += 1
+            return False
+        if len(self._waiters) >= self.capacity:
+            victim, _ = self._waiters.pop(0)
+            if not victim.done():
+                victim.set_result(False)
+                self.shed_queue_full += 1
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append((future, deadline))
+        timeout = deadline.remaining() if deadline is not None else None
+        try:
+            if timeout is None:
+                return bool(await future)
+            return bool(await asyncio.wait_for(future, timeout))
+        except asyncio.TimeoutError:
+            self._waiters = [w for w in self._waiters if w[0] is not future]
+            if future.done() and not future.cancelled() and future.result():
+                return True  # the slot arrived in the same tick: keep it
+            self.shed_expired += 1
+            return False
+
+    def release(self) -> None:
+        """Free a slot — handed to the newest live waiter when one exists."""
+        while self._waiters:
+            future, deadline = self._waiters.pop()  # LIFO: newest first
+            if future.done():
+                continue  # already timed out or shed; stale entry
+            if deadline is not None and deadline.expired():
+                future.set_result(False)
+                self.shed_expired += 1
+                continue
+            future.set_result(True)  # slot transfers; inflight unchanged
+            return
+        self.inflight -= 1
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "inflight": self.inflight,
+            "max_inflight_seen": self.max_seen,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_expired": self.shed_expired,
+        }
 
 
 class ClusterNetServer:
@@ -114,12 +216,24 @@ class ClusterNetServer:
         fault_plan: Optional[FaultPlan] = None,
         security: str = "optional",
         sessions: Optional[SessionManager] = None,
+        max_inflight: Optional[int] = None,
+        max_connections: Optional[int] = None,
+        shed_retry_after: float = DEFAULT_SHED_RETRY_AFTER,
     ):
         if security not in SECURITY_POLICIES:
             raise ConfigurationError(
                 f"security must be one of {SECURITY_POLICIES}, "
                 f"not {security!r}"
             )
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, not {max_inflight}")
+        if max_connections is not None and max_connections < 1:
+            raise ConfigurationError(
+                f"max_connections must be >= 1, not {max_connections}")
+        if shed_retry_after < 0:
+            raise ConfigurationError(
+                f"shed_retry_after must be >= 0, not {shed_retry_after}")
         self._coordinator = coordinator
         self._host = host
         self._port = port
@@ -158,6 +272,17 @@ class ClusterNetServer:
         self.tamper_injections = 0
         self.replay_injections = 0
         self.downgrade_injections = 0
+        # Overload admission: the in-flight gate (None = unlimited), the
+        # connection cap, and the front door's own shedding ledger.
+        self.max_inflight = max_inflight
+        self.max_connections = max_connections
+        self.shed_retry_after = shed_retry_after
+        self._gate = (_AdmissionGate(max_inflight)
+                      if max_inflight is not None else None)
+        self.frames_shed = 0
+        self.requests_shed = 0
+        self.deadline_shed_frames = 0
+        self.connections_refused = 0
 
     @property
     def coordinator(self):
@@ -261,6 +386,21 @@ class ClusterNetServer:
             "replay_injections": self.replay_injections,
             "downgrade_injections": self.downgrade_injections,
         }
+        overload = {
+            "max_inflight": self.max_inflight,
+            "max_connections": self.max_connections,
+            "frames_shed": self.frames_shed,
+            "requests_shed": self.requests_shed,
+            "deadline_shed_frames": self.deadline_shed_frames,
+            "connections_refused": self.connections_refused,
+            "max_inflight_seen": (self._gate.max_seen
+                                  if self._gate is not None else 0),
+            "queue_shed": (self._gate.shed_queue_full
+                           if self._gate is not None else 0),
+            "expired_shed": (self._gate.shed_expired
+                             if self._gate is not None else 0),
+        }
+        row["overload"] = overload
         if self.sessions is not None:
             row["gateway"] = self.sessions.stats()
         return row
@@ -269,6 +409,18 @@ class ClusterNetServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        if (self.max_connections is not None
+                and len(self._writers) >= self.max_connections):
+            # Over the connection cap: refuse without reply.  Any answer
+            # (even a rejection frame) would let a connection flood buy
+            # server work; a silent close costs one accept.
+            self.connections_refused += 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            return
         self._writers.add(writer)
         session: Optional[SecureSession] = None
         last_reply: Optional[bytes] = None  # REPLAY's recorded frame
@@ -322,13 +474,16 @@ class ClusterNetServer:
                         break
                     plain = payload
                 try:
+                    budget_ms, plain = protocol.split_deadline(plain)
                     requests = protocol.decode_batch(plain)
                 except ProtocolError:
                     await self._send_in_session(
                         writer, protocol.encode_batch_rejection(), session
                     )
                     continue
-                responses = self._coordinator.execute(requests)
+                deadline = (Deadline.from_budget_ms(budget_ms)
+                            if budget_ms is not None else None)
+                responses = await self._admit_and_execute(requests, deadline)
                 self.frames_served += 1
                 self.requests_served += len(requests)
                 action = await self._apply_net_faults()
@@ -360,6 +515,40 @@ class ClusterNetServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    async def _admit_and_execute(
+        self,
+        requests: List[Request],
+        deadline: Optional[Deadline],
+    ) -> List[Response]:
+        """Run one frame through admission control, then the coordinator.
+
+        Three shed points, all answered with ``STATUS_OVERLOADED`` +
+        ``retry_after`` instead of silence (a shed client must learn to
+        back off, not time out): the frame arrived with its budget already
+        spent; the admission gate refused it (queue full, or its deadline
+        ran out while queued); or — past admission — the coordinator's own
+        overload layer sheds individual requests.
+        """
+        if deadline is not None and deadline.expired():
+            self.deadline_shed_frames += 1
+            return self._shed(len(requests), b"deadline expired on arrival")
+        if self._gate is not None:
+            if not await self._gate.acquire(deadline):
+                return self._shed(len(requests), b"admission queue full")
+        try:
+            if deadline is None:
+                return self._coordinator.execute(requests)
+            return self._coordinator.execute(requests, deadline=deadline)
+        finally:
+            if self._gate is not None:
+                self._gate.release()
+
+    def _shed(self, n: int, reason: bytes) -> List[Response]:
+        self.frames_shed += 1
+        self.requests_shed += n
+        shed = protocol.overloaded(self.shed_retry_after, reason)
+        return [shed] * n
 
     async def _serve_handshake(
         self,
@@ -531,6 +720,24 @@ class ClusterClient:
     whose ack was lost (or forged) may still have executed, and only the
     caller knows whether replaying it is acceptable.
 
+    Two overload-era bounds sit on top:
+
+    * **Deadlines** — ``deadline`` (a default budget in seconds, or a
+      per-call override on every request method) rides each frame as the
+      wire envelope, caps the socket wait, and caps retry *backoff*: a
+      sleep that would overrun the remaining budget raises
+      :class:`~repro.errors.DeadlineExceededError` instead of sleeping
+      through it, so total attempt wall-time never exceeds the caller's
+      deadline by more than one in-flight RPC.
+    * **Retry budget** — every retry spends a token from a
+      :class:`~repro.cluster.overload.RetryBudget` (``retry_ratio``
+      tokens deposited per fresh request), so a failing cluster can never
+      be amplified by more than that fraction of fresh load.  A read shed
+      by the server (``STATUS_OVERLOADED``) is retried after its
+      ``retry_after`` hint while retries and budget last, then surfaces
+      as :class:`~repro.errors.OverloadedError`; a shed *write* comes
+      back as the raw OVERLOADED :class:`Response` — never auto-retried.
+
     Construct via :meth:`connect`; passing socket/retry tuning directly to
     the constructor is deprecated.  Every error this client raises is part
     of the :mod:`repro.errors` tree.
@@ -549,13 +756,16 @@ class ClusterClient:
         backoff: float = _UNSET,
         backoff_cap: float = _UNSET,
         sleep: Callable[[float], None] = _UNSET,
+        deadline: Optional[float] = _UNSET,
+        retry_ratio: float = _UNSET,
     ):
         tuning = {
             name: value
             for name, value in (
                 ("timeout", timeout), ("retries", retries),
                 ("backoff", backoff), ("backoff_cap", backoff_cap),
-                ("sleep", sleep),
+                ("sleep", sleep), ("deadline", deadline),
+                ("retry_ratio", retry_ratio),
             )
             if value is not _UNSET
         }
@@ -569,10 +779,13 @@ class ClusterClient:
             )
         timeout = tuning.get("timeout", DEFAULT_CLIENT_TIMEOUT)
         retries = tuning.get("retries", DEFAULT_READ_RETRIES)
+        deadline = tuning.get("deadline", None)
         if timeout <= 0:
             raise ConfigurationError("timeout must be positive")
         if retries < 0:
             raise ConfigurationError("retries must be >= 0")
+        if deadline is not None and deadline <= 0:
+            raise ConfigurationError("deadline must be positive")
         self._host = host
         self._port = port
         self._timeout = timeout
@@ -580,6 +793,11 @@ class ClusterClient:
         self._backoff = tuning.get("backoff", DEFAULT_BACKOFF)
         self._backoff_cap = tuning.get("backoff_cap", DEFAULT_BACKOFF_CAP)
         self._sleep = tuning.get("sleep", time.sleep)
+        #: Default per-call deadline budget (seconds); None = no envelope.
+        self._deadline = deadline
+        #: Shared across this client's reads: bounds retry amplification.
+        self.retry_budget = RetryBudget(
+            ratio=tuning.get("retry_ratio", DEFAULT_RETRY_RATIO))
         self._secure = secure
         self._expected_measurement = expected_measurement
         self._crypto = crypto
@@ -591,6 +809,7 @@ class ClusterClient:
         self._last_handshake_cycles = 0.0
         self.reconnects = 0
         self.retried_reads = 0
+        self.overload_retries = 0
         self._sock = self._connect()
 
     @classmethod
@@ -607,12 +826,17 @@ class ClusterClient:
         backoff: float = DEFAULT_BACKOFF,
         backoff_cap: float = DEFAULT_BACKOFF_CAP,
         sleep: Callable[[float], None] = time.sleep,
+        deadline: Optional[float] = None,
+        retry_ratio: float = DEFAULT_RETRY_RATIO,
     ) -> "ClusterClient":
         """The factory: connect (and, unless ``secure=False``, handshake).
 
         This is the supported home for socket/retry tuning; the
         constructor accepts the same keywords only for backward
         compatibility, with a :class:`DeprecationWarning`.
+        ``deadline`` is a default budget (seconds) attached to every
+        frame; ``retry_ratio`` bounds retries as a fraction of fresh
+        requests (see :class:`~repro.cluster.overload.RetryBudget`).
         """
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
@@ -626,6 +850,8 @@ class ClusterClient:
                 backoff=backoff,
                 backoff_cap=backoff_cap,
                 sleep=sleep,
+                deadline=deadline,
+                retry_ratio=retry_ratio,
             )
 
     # -- connection + handshake ---------------------------------------------------
@@ -697,8 +923,16 @@ class ClusterClient:
 
     # -- framing ------------------------------------------------------------------
 
-    def send_frame(self, payload: bytes) -> None:
-        """Send one protocol payload, sealed when a session is live."""
+    def send_frame(self, payload: bytes,
+                   deadline: Optional[Deadline] = None) -> None:
+        """Send one protocol payload, sealed when a session is live.
+
+        With a ``deadline``, the *remaining* budget is prefixed as the
+        deadline envelope before sealing, so it rides inside the AEAD
+        frame (MAC-protected) on an encrypted connection.
+        """
+        if deadline is not None:
+            payload = protocol.wrap_deadline(payload, deadline.budget_ms())
         if self._session is not None:
             payload = self._session.seal(payload)
         self._send_raw(self._sock, payload)
@@ -760,7 +994,8 @@ class ClusterClient:
 
     # -- request API --------------------------------------------------------------
 
-    def request_batch(self, requests: List[Request]) -> List[Response]:
+    def request_batch(self, requests: List[Request],
+                      deadline: Optional[float] = None) -> List[Response]:
         """One frame out, one frame back; positional responses.
 
         Raises :class:`~repro.errors.BatchRejectedError` if the server
@@ -769,50 +1004,133 @@ class ClusterClient:
         and :class:`~repro.errors.TamperedFrameError` /
         :class:`~repro.errors.ReplayError` if the response frame failed
         the session's authentication.  Never retried here — batches may
-        contain writes.
+        contain writes, and a shed write comes back as its raw
+        ``STATUS_OVERLOADED`` response for the caller to judge.
         """
-        self.send_frame(protocol.encode_batch(requests))
-        return protocol.decode_batch_responses(self.recv_frame(),
-                                               expected=len(requests))
+        self.retry_budget.on_fresh()
+        return self._attempt(requests, self._deadline_for(deadline))
 
-    def _retrying_single(self, request: Request) -> Response:
+    def _deadline_for(self, deadline: Optional[float]) -> Optional[Deadline]:
+        """Start the local countdown: per-call budget, else the default."""
+        budget = self._deadline if deadline is None else deadline
+        if budget is None:
+            return None
+        if isinstance(budget, Deadline):
+            return budget  # caller-managed: one budget across retries
+        return Deadline(budget)
+
+    def _attempt(self, requests: List[Request],
+                 deadline: Optional[Deadline]) -> List[Response]:
+        """One wire round-trip, with the socket wait capped by ``deadline``.
+
+        The deadline cap means a hung server surfaces as
+        :class:`~repro.errors.ClusterTimeoutError` no later than the
+        budget's expiry — the caller's wall-time never exceeds the
+        deadline by more than the one RPC already in flight.
+        """
+        if deadline is None:
+            self.send_frame(protocol.encode_batch(requests))
+            return protocol.decode_batch_responses(self.recv_frame(),
+                                                   expected=len(requests))
+        deadline.check()
+        self._sock.settimeout(
+            min(self._timeout, max(deadline.remaining(), 1e-3)))
+        try:
+            self.send_frame(protocol.encode_batch(requests),
+                            deadline=deadline)
+            return protocol.decode_batch_responses(self.recv_frame(),
+                                                   expected=len(requests))
+        finally:
+            self._sock.settimeout(self._timeout)
+
+    def _retrying_single(self, request: Request,
+                         deadline: Optional[float] = None) -> Response:
         """At-least-once delivery for an idempotent single request.
 
         Wire-attack errors (tampered or replayed response) are retryable
         here for the same reason timeouts are: the request is idempotent
-        and the reconnect re-handshakes under a fresh session.
+        and the reconnect re-handshakes under a fresh session.  Every
+        retry spends a :class:`~repro.cluster.overload.RetryBudget`
+        token; an exhausted budget fails fast with the original error.
+        An ``OVERLOADED`` reply is retried after the server's
+        ``retry_after`` hint, surfacing as
+        :class:`~repro.errors.OverloadedError` once retries run out.
         """
+        deadline = self._deadline_for(deadline)
+        self.retry_budget.on_fresh()
         attempt = 0
         while True:
             try:
-                [response] = self.request_batch([request])
-                return response
+                [response] = self._attempt([request], deadline)
             except (ClusterTimeoutError, ConnectionError, OSError,
                     TamperedFrameError, ReplayError):
-                if attempt >= self._retries:
+                if attempt >= self._retries \
+                        or not self.retry_budget.try_retry():
                     raise
-                # Jitter desynchronizes clients retrying after the same
-                # server hiccup, so the reconnect stampede spreads out.
-                self._sleep(netutil.jittered(
-                    min(self._backoff * (2 ** attempt), self._backoff_cap)
-                ))
+                self._pause(attempt, deadline, 0.0)
                 self._reconnect()
                 self.retried_reads += 1
                 attempt += 1
+                continue
+            if response.status != protocol.Status.OVERLOADED:
+                return response
+            hint = protocol.retry_after_hint(response)
+            if attempt >= self._retries \
+                    or not self.retry_budget.try_retry():
+                reason = protocol.overload_reason(response)
+                raise OverloadedError(
+                    "read shed by server"
+                    + (f" ({reason.decode('utf-8', 'replace')})"
+                       if reason else ""),
+                    retry_after=hint)
+            self._pause(attempt, deadline, hint)
+            self.overload_retries += 1
+            attempt += 1
 
-    def get(self, key: bytes) -> Response:
-        return self._retrying_single(protocol.get(key))
+    def _pause(self, attempt: int, deadline: Optional[Deadline],
+               hint: float) -> None:
+        """Back off before a retry — never past the caller's deadline.
 
-    def health(self) -> Response:
+        Jitter desynchronizes clients retrying after the same server
+        hiccup, so the reconnect stampede spreads out; a server-supplied
+        ``retry_after`` hint is honored as the floor.  A sleep that would
+        overrun the remaining budget raises
+        :class:`~repro.errors.DeadlineExceededError` instead: the retry
+        could not finish in time, so sleeping through the deadline only
+        delays the inevitable (this is what caps total attempt wall-time
+        at the deadline).
+        """
+        delay = max(
+            netutil.jittered(
+                min(self._backoff * (2 ** attempt), self._backoff_cap)),
+            hint,
+        )
+        if deadline is not None and delay >= deadline.remaining():
+            raise DeadlineExceededError(
+                f"retry backoff {delay * 1000.0:.0f} ms would overrun the "
+                f"deadline ({deadline.remaining() * 1000.0:.0f} ms left)")
+        self._sleep(delay)
+
+    def get(self, key: bytes,
+            deadline: Optional[float] = None) -> Response:
+        return self._retrying_single(protocol.get(key), deadline)
+
+    def health(self, deadline: Optional[float] = None) -> Response:
         """Probe the cluster (OP_HEALTH); retried like any read."""
-        return self._retrying_single(protocol.health())
+        return self._retrying_single(protocol.health(), deadline)
 
-    def put(self, key: bytes, value: bytes) -> Response:
-        [response] = self.request_batch([protocol.put(key, value)])
+    def put(self, key: bytes, value: bytes,
+            deadline: Optional[float] = None) -> Response:
+        self.retry_budget.on_fresh()
+        [response] = self._attempt([protocol.put(key, value)],
+                                   self._deadline_for(deadline))
         return response
 
-    def delete(self, key: bytes) -> Response:
-        [response] = self.request_batch([protocol.delete(key)])
+    def delete(self, key: bytes,
+               deadline: Optional[float] = None) -> Response:
+        self.retry_budget.on_fresh()
+        [response] = self._attempt([protocol.delete(key)],
+                                   self._deadline_for(deadline))
         return response
 
     def close(self) -> None:
@@ -840,12 +1158,16 @@ class BackgroundServer:
                  port: int = 0, max_requests: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  security: str = "optional",
-                 sessions: Optional[SessionManager] = None):
+                 sessions: Optional[SessionManager] = None,
+                 max_inflight: Optional[int] = None,
+                 max_connections: Optional[int] = None):
         self.server = ClusterNetServer(coordinator, host=host, port=port,
                                        max_requests=max_requests,
                                        fault_plan=fault_plan,
                                        security=security,
-                                       sessions=sessions)
+                                       sessions=sessions,
+                                       max_inflight=max_inflight,
+                                       max_connections=max_connections)
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ready = threading.Event()

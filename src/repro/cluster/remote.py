@@ -201,10 +201,20 @@ class RemoteServer:
         handle._pending += 1
         return handle._pending
 
-    def flush_collect(self, ticket: int) -> list:
+    def flush_collect(self, ticket: int,
+                      timeout: float = DEFAULT_RPC_TIMEOUT) -> list:
+        """Collect one submitted flush, optionally under a tighter deadline.
+
+        ``timeout`` lets the coordinator derive a per-shard RPC deadline
+        from a request's remaining budget; exceeding it raises
+        :class:`~repro.errors.ShardCrashedError` (hung => presumed dead),
+        which the overload layer's breaker then counts as a failure.  Note
+        that a timed-out collect desynchronizes the FIFO ticket stream —
+        the shard is treated as lost, never resumed mid-stream.
+        """
         handle = self._handle
         try:
-            return handle._recv()
+            return handle._recv(timeout)
         finally:
             handle._pending = max(0, handle._pending - 1)
 

@@ -123,6 +123,9 @@ class ReplicaGroup:
         self.durability = None
         self.durability_failures = 0
         self.durability_repairs = 0
+        #: Reads served on a secondary while the primary's circuit breaker
+        #: was open (see :meth:`flush_reads_fallback`).
+        self.read_fallbacks = 0
         self._store = _GroupStore(self)
         self._meter = _GroupMeter(self)
 
@@ -222,6 +225,42 @@ class ReplicaGroup:
         if self.durability is not None:
             self._commit_durable(requests, write_positions, responses)
         return responses
+
+    def flush_reads_fallback(self, requests) -> List[Response]:
+        """Serve a read-only batch while *avoiding* the primary.
+
+        The overload layer's escape hatch for an open circuit breaker: the
+        primary is slow-but-alive (tripping the breaker), so reads are
+        routed to the first live secondary — same verified read path, same
+        metering, different enclave.  Crashed secondaries fail over to the
+        next; with no live secondary at all the primary serves after all
+        (a slow read beats no read).  Writes never take this path: they
+        must land on every live replica in order, which is exactly what a
+        stalled primary cannot guarantee in time.
+        """
+        requests = list(requests)
+        if any(r.opcode != OpCode.GET and r.opcode != OpCode.HEALTH
+               for r in requests):
+            raise ValueError("flush_reads_fallback only serves reads")
+        if not requests:
+            return []
+        live = self.live_replicas()
+        primary = self._first_live()
+        for replica in live:
+            if replica is primary:
+                continue
+            try:
+                responses = list(replica.shard.server.flush_batch(requests))
+            except ShardCrashedError as exc:
+                self.mark_down(replica, _down_reason(exc))
+                continue
+            if any(r.status == Status.INTEGRITY_FAILURE for r in responses):
+                # Rotten secondary: quarantine it and keep looking.
+                self.mark_down(replica, "integrity")
+                continue
+            self.read_fallbacks += len(requests)
+            return responses
+        return self.flush_batch(requests)
 
     def _commit_durable(self, requests: List[Request],
                         write_positions: List[int],
@@ -375,6 +414,7 @@ class ReplicaGroup:
         row["replication"] = len(self.replicas)
         row["replicas_up"] = len(self.live_replicas())
         row["failovers"] = self.failovers
+        row["read_fallbacks"] = self.read_fallbacks
         if self.durability is not None:
             row["durability"] = dict(
                 self.durability.stats(),

@@ -34,12 +34,21 @@ _OP_EVENTS = ("op_get", "op_put", "op_delete")
 
 
 class ClusterStats:
-    """Delta-based aggregation over a fixed set of shards."""
+    """Delta-based aggregation over a fixed set of shards.
 
-    def __init__(self, shards: Iterable):
+    ``overload`` is an optional counters source — a dict, or a zero-arg
+    callable returning one (the coordinator passes its live
+    ``overload_stats`` method so :meth:`report` reads counters at report
+    time, not at window start).  When present, the report's cluster row
+    carries it under ``"overload"`` so operators see shedding, breaker
+    trips and brownout time next to throughput.
+    """
+
+    def __init__(self, shards: Iterable, *, overload=None):
         self._shards: List = list(shards)
         if not self._shards:
             raise ValueError("no shards to aggregate")
+        self._overload = overload
         self._baselines: Dict[str, MeterSnapshot] = {}
         self.rebaseline()
 
@@ -143,4 +152,8 @@ class ClusterStats:
             cluster["replicas"] = replicas
             cluster["replicas_down"] = replicas_down
             cluster["failovers"] = failovers
+        if self._overload is not None:
+            counters = self._overload() if callable(self._overload) \
+                else self._overload
+            cluster["overload"] = dict(counters)
         return {"shards": per_shard, "cluster": cluster}

@@ -112,6 +112,35 @@ class ReplicaUnavailableError(AriaError):
     """No live replica could serve the request (the whole group is down)."""
 
 
+class OverloadedError(AriaError):
+    """The server shed this request to protect itself (admission control).
+
+    Overload shedding is a *policy* outcome, not a failure of the shed
+    request: nothing was executed, nothing was lost, and the server is
+    telling the client exactly when to come back via ``retry_after``
+    (seconds).  Raised client-side when a response carries
+    ``STATUS_OVERLOADED`` and the client's retry budget (or deadline) does
+    not allow another attempt.
+    """
+
+    def __init__(self, message: str = "server overloaded",
+                 *, retry_after: float = 0.0):
+        super().__init__(message)
+        #: Server hint: seconds to wait before retrying (0.0 = no hint).
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceededError(OverloadedError):
+    """The caller's deadline budget ran out before the work could finish.
+
+    Inherits :class:`OverloadedError` because a blown deadline is shed the
+    same way server-side (``STATUS_OVERLOADED`` with a ``retry_after``
+    hint), and client-side both mean "this attempt did not execute".
+    Distinct type so callers can tell "the cluster refused" from "my own
+    budget expired" — e.g. when a retry sleep would overrun the deadline.
+    """
+
+
 class ClusterTimeoutError(AriaError):
     """A cluster client timed out waiting for the server.
 

@@ -37,6 +37,7 @@ from repro.cluster import (
 _BACKEND_MODULES = {
     "test_cluster",
     "test_cluster_faults",
+    "test_cluster_overload",
     "test_cluster_replication",
     "test_durability_recovery",
     "test_netserver",
@@ -51,6 +52,7 @@ _BACKEND_MODULES = {
 _SOCKET_MODULES = {
     "test_cluster",
     "test_cluster_faults",
+    "test_cluster_overload",
     "test_cluster_replication",
 }
 

@@ -111,6 +111,41 @@ def test_serve_balancer_flag(capsys):
     assert "balancer off" in capsys.readouterr().out
 
 
+def test_serve_overload_banner_and_summary(capsys):
+    code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
+                 "--scale", "2048", "--max-requests", "0",
+                 "--max-inflight", "8", "--max-connections", "16"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "overload: max in-flight 8, max connections 16" in out
+    assert "breakers armed" in out
+    assert "shed 0 requests" in out
+
+
+def test_serve_max_inflight_alone_arms_overload(capsys):
+    code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
+                 "--scale", "2048", "--max-requests", "0",
+                 "--max-inflight", "4"])
+    assert code == 0
+    assert "max connections unlimited" in capsys.readouterr().out
+
+
+def test_serve_rejects_nonpositive_max_inflight(capsys):
+    code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
+                 "--scale", "2048", "--max-requests", "0",
+                 "--max-inflight", "0"])
+    assert code == 1
+    assert "--max-inflight must be at least 1" in capsys.readouterr().err
+
+
+def test_serve_rejects_nonpositive_max_connections(capsys):
+    code = main(["serve", "--shards", "2", "--port", "0", "--keys", "500",
+                 "--scale", "2048", "--max-requests", "0",
+                 "--max-connections", "-1"])
+    assert code == 1
+    assert "--max-connections must be at least 1" in capsys.readouterr().err
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -309,23 +309,28 @@ class TestNetFaults:
                 client.close()
 
     def test_exponential_backoff_is_bounded(self):
+        from repro.cluster.overload import RetryBudget
+
         naps = []
         client = ClusterClient.__new__(ClusterClient)
         client._retries = 4
         client._backoff = 0.1
         client._backoff_cap = 0.25
         client._sleep = naps.append
+        client._deadline = None
+        client.retry_budget = RetryBudget()
         client.retried_reads = 0
+        client.overload_retries = 0
         client.reconnects = 0
         client._reconnect = lambda: None
 
         calls = {"n": 0}
 
-        def failing_batch(requests):
+        def failing_attempt(requests, deadline):
             calls["n"] += 1
             raise ClusterTimeoutError("still down")
 
-        client.request_batch = failing_batch
+        client._attempt = failing_attempt
         with pytest.raises(ClusterTimeoutError):
             client._retrying_single(protocol.get(b"k"))
         assert calls["n"] == 5  # 1 try + 4 retries
