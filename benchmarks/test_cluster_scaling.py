@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     cluster_rebalance,
     cluster_replication,
     cluster_scaling,
+    cluster_shard_workers,
     cluster_socket_backend,
     cluster_wire_overhead,
 )
@@ -125,6 +126,49 @@ def test_process_backend_speedup(run_experiment):
     result.note(f"wall-clock process/inline ratio: {ratio:.2f}x "
                 "(informational, host-dependent)")
     assert inline["wall_s"] > 0 and process["wall_s"] > 0
+
+
+@pytest.mark.parallel
+@pytest.mark.procs
+def test_shard_worker_speedup(run_experiment):
+    result = run_experiment(cluster_shard_workers,
+                            scale=bench_scale(2048), n_ops=4000)
+    (serial,) = result.where(backend="inline", workers=1)
+
+    # (g) Worker count is invisible to the simulation: every row — any N,
+    # inline or OS-process shards — returns the same response bytes and
+    # charges the same enclave cycles to the last float.  This is the
+    # determinism contract of the reserve → execute → commit engine.
+    for row in result.rows:
+        assert row["responses_sha256"] == serial["responses_sha256"], row
+        assert row["cycles_sum"] == serial["cycles_sum"], row
+        assert row["throughput ops/s"] == serial["throughput ops/s"], row
+
+    # The simulated critical path scales: reservation traffic and phase
+    # barriers are priced in, and the 95%-read mix leaves enough
+    # conflict-free work for 4 workers to clear 3x.  The figure is a pure
+    # function of the seeded stream and the cost model — deterministic,
+    # not a flaky wall-clock measurement.
+    (two,) = result.where(backend="inline", workers=2)
+    (four,) = result.where(backend="inline", workers=4)
+    assert serial["speedup"] == 1.0
+    assert two["speedup"] > 1.4
+    assert four["speedup"] >= 3.0, four["speedup"]
+    assert four["speedup"] > two["speedup"]
+
+    # The process rows report the same engine figures off the mirrored
+    # meter snapshots — the timing model crosses the pipe intact.
+    (proc4,) = result.where(backend="process", workers=4)
+    assert proc4["speedup"] == four["speedup"]
+
+    # Wall-clock is host-dependent and never asserted; surface the ratio
+    # so EXPERIMENTS.md can record what the prefetch overlap buys.
+    (proc1,) = result.where(backend="process", workers=1)
+    ratio = proc1["wall_s"] / proc4["wall_s"]
+    result.note(f"wall-clock process w1/w4 ratio: {ratio:.2f}x "
+                "(informational, host-dependent)")
+    for row in result.rows:
+        assert row["wall_s"] > 0
 
 
 @pytest.mark.wire

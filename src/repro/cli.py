@@ -196,6 +196,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.replication < 1:
         print("--replication must be at least 1", file=sys.stderr)
         return 1
+    if args.shard_workers is not None and args.shard_workers < 1:
+        print("--shard-workers must be at least 1", file=sys.stderr)
+        return 1
     if args.max_inflight is not None and args.max_inflight < 1:
         print("--max-inflight must be at least 1", file=sys.stderr)
         return 1
@@ -237,6 +240,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 batch_window=args.batch_window,
                 seed=args.seed,
                 backend=backend,
+                workers=args.shard_workers,
             )
         else:
             coordinator = build_cluster(
@@ -248,6 +252,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 batch_window=args.batch_window,
                 seed=args.seed,
                 backend=backend,
+                workers=args.shard_workers,
             )
     except (HandshakeError, ClusterConnectionError,
             ClusterTimeoutError) as exc:
@@ -308,9 +313,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         host, port = await server.start()
+        from repro.cluster.shard import resolve_workers
+
         print(f"cluster listening on {host}:{port} "
-              f"({args.shards} shards, backend {args.backend}, balancer "
-              f"{'on' if args.balance else 'off'}, wire security "
+              f"({args.shards} shards, backend {args.backend}, "
+              f"{resolve_workers(args.shard_workers)} worker(s)/shard, "
+              f"balancer {'on' if args.balance else 'off'}, wire security "
               f"{security})")
         if args.durable:
             print(f"  durable: data dir {args.data_dir}, replication "
@@ -435,6 +443,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["hash", "btree", "bplustree"])
     serve.add_argument("--vnodes", type=int, default=128)
     serve.add_argument("--batch-window", type=int, default=32)
+    serve.add_argument("--shard-workers", type=int, default=None,
+                       help="simulated enclave worker threads per shard: "
+                       "batches run the Aria-style reserve/execute/commit "
+                       "pipeline (deterministic, bit-identical responses "
+                       "and cycles at any count); default 1, or "
+                       "ARIA_SHARD_WORKERS")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--backend", default="inline",
                        choices=["inline", "process", "socket"],

@@ -61,9 +61,17 @@ class ShardBackend(abc.ABC):
         index: str = "hash",
         seed: int = 0,
         value_hint: int = 16,
+        workers: int = 1,
         **config_overrides,
     ):
-        """Build one shard (enclave + store + server) and return its handle."""
+        """Build one shard (enclave + store + server) and return its handle.
+
+        ``workers`` is the shard's simulated enclave worker count (the
+        intra-shard batch-parallelism knob, see
+        :mod:`repro.server.batchexec`); backends that spawn remote
+        processes must carry it in their specs so the enclave is built
+        identically wherever it lives.
+        """
 
     def close(self, timeout: float = 5.0) -> None:
         """Release whatever the backend holds (worker processes, pipes)."""
@@ -86,6 +94,7 @@ class InlineBackend(ShardBackend):
         index: str = "hash",
         seed: int = 0,
         value_hint: int = 16,
+        workers: int = 1,
         **config_overrides,
     ):
         from repro.cluster.shard import Shard
@@ -97,6 +106,7 @@ class InlineBackend(ShardBackend):
             index=index,
             seed=seed,
             value_hint=value_hint,
+            workers=workers,
             **config_overrides,
         )
 

@@ -385,6 +385,15 @@ class ClusterCoordinator:
             for seq in flight.seqs:
                 responses[seq] = error
             return
+        if len(flushed) != len(flight.seqs) \
+                and protocol.is_batch_rejection(flushed):
+            # The shard refused the whole batch (a cap violation in the
+            # pre-decoded path mirrors decode_batch's rejection contract):
+            # none of its requests executed, every slot learns that.  A
+            # plain zip would silently leave slots unanswered.
+            for seq in flight.seqs:
+                responses[seq] = Response(Status.BAD_REQUEST)
+            return
         for seq, response in zip(flight.seqs, flushed):
             responses[seq] = response
 
@@ -459,10 +468,40 @@ class ClusterCoordinator:
             "ops_routed": self.ops_routed,
             "flush_failures": self.flush_failures,
         }
+        batchexec = self._batchexec_health()
+        if batchexec:
+            summary["batchexec"] = batchexec
         if self._overload is not None:
             summary["overload"] = self._overload.stats()
         return Response(Status.OK,
                         json.dumps(summary, sort_keys=True).encode())
+
+    def _batchexec_health(self) -> Dict[str, dict]:
+        """Per-shard conflict/abort/fallback counters for ``OP_HEALTH``.
+
+        Read off the meters' ``batchexec_*`` events, which piggyback on
+        every RPC reply as absolute snapshots: no extra per-shard stats
+        RPC, and a crashed or partitioned shard serves its last-known
+        mirror instead of failing the health probe.  Empty (and omitted
+        from the summary) when no shard runs the parallel engine.
+        """
+        counters: Dict[str, dict] = {}
+        for shard in self.shard_list():
+            try:
+                events = shard.meter.events
+            except AriaError:
+                continue
+            if not events["batchexec_batch"]:
+                continue
+            counters[shard.shard_id] = {
+                "batches": events["batchexec_batch"],
+                "conflicts": (events["batchexec_conflict_raw"]
+                              + events["batchexec_conflict_waw"]
+                              + events["batchexec_conflict_war"]),
+                "deferred": events["batchexec_deferred"],
+                "fallback_rounds": events["batchexec_fallback_round"],
+            }
+        return counters
 
     # -- bulk load (unmetered, mirrors AriaStore.load) ----------------------------
 
@@ -515,6 +554,7 @@ def build_cluster(
     batch_window: int = DEFAULT_BATCH_WINDOW,
     seed: int = 0,
     backend: BackendSpec = None,
+    workers: Optional[int] = None,
     **shard_overrides,
 ) -> ClusterCoordinator:
     """One-call cluster: N shards splitting one EPC budget, plus a ring.
@@ -538,6 +578,7 @@ def build_cluster(
         index=index,
         seed=seed,
         backend=factory,
+        workers=workers,
         **shard_overrides,
     )
     coordinator = ClusterCoordinator(shards, vnodes=vnodes,

@@ -53,6 +53,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
+import threading
 import weakref
 from typing import List, Optional
 
@@ -115,8 +117,19 @@ def reap_leaked_workers(timeout: float = DEFAULT_CLOSE_TIMEOUT) -> List[str]:
 
 def _worker_main(conn, spec: dict) -> None:
     """Build the real Shard and serve RPCs until shutdown (or SIGKILL)."""
+    import signal
+
     from repro.cluster.shard import Shard
 
+    # A foreground Ctrl-C delivers SIGINT to the whole process group.
+    # Shutdown is the *parent's* call (graceful ``shutdown`` RPC, then
+    # escalation in ``ProcessShard.close``): if workers died on the
+    # signal, the parent's final stats collection would race their
+    # exit and the serve CLI's shutdown report would read dead pipes.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     try:
         shard = Shard(
             spec["shard_id"],
@@ -125,6 +138,7 @@ def _worker_main(conn, spec: dict) -> None:
             index=spec["index"],
             seed=spec["seed"],
             value_hint=spec["value_hint"],
+            workers=spec.get("workers", 1),
             **spec["config_overrides"],
         )
     except BaseException as exc:  # surface build failures to the parent
@@ -142,11 +156,12 @@ def _worker_main(conn, spec: dict) -> None:
         "config": shard.store.config,
     }
     _send(conn, "ready", info, shard.meter.snapshot().to_dict())
+    recv = _make_receiver(conn, spec.get("workers", 1))
     while True:
-        try:
-            cmd, args = conn.recv()
-        except (EOFError, OSError):
+        item = recv()
+        if item is None:
             break  # parent vanished; daemon exit
+        cmd, args = item
         if cmd == "shutdown":
             _send(conn, "ok", None, shard.meter.snapshot().to_dict())
             break
@@ -157,6 +172,43 @@ def _worker_main(conn, spec: dict) -> None:
         else:
             _send(conn, "ok", payload, shard.meter.snapshot().to_dict())
     conn.close()
+
+
+def _make_receiver(conn, workers: int):
+    """The worker's RPC intake; a real prefetch thread when ``workers > 1``.
+
+    With one worker the intake is a plain blocking ``recv``.  With N > 1
+    the untrusted side gets a genuine OS thread that pulls the next RPCs
+    off the pipe (the blocking read releases the GIL) while the main
+    thread is still executing the current batch inside the simulated
+    enclave — the HotCalls shape: boundary traffic overlaps execution.
+    The queue is bounded so a slow enclave backpressures the pipe instead
+    of buffering unbounded pickles.  Returns a callable yielding the next
+    ``(cmd, args)`` tuple or ``None`` once the parent is gone.
+    """
+    if workers <= 1:
+        def recv_inline():
+            try:
+                return conn.recv()
+            except (EOFError, OSError):
+                return None
+
+        return recv_inline
+    inbox: "queue.Queue" = queue.Queue(maxsize=max(2, workers))
+
+    def pump():
+        while True:
+            try:
+                item = conn.recv()
+            except (EOFError, OSError):
+                inbox.put(None)
+                return
+            inbox.put(item)
+
+    thread = threading.Thread(target=pump, daemon=True,
+                              name="aria-rpc-prefetch")
+    thread.start()
+    return inbox.get
 
 
 def _send(conn, tag: str, payload, meter_dict) -> None:
@@ -325,6 +377,7 @@ class ProcessBackend(ShardBackend):
         index: str = "hash",
         seed: int = 0,
         value_hint: int = 16,
+        workers: int = 1,
         **config_overrides,
     ) -> ProcessShard:
         spec = {
@@ -334,6 +387,7 @@ class ProcessBackend(ShardBackend):
             "index": index,
             "seed": seed,
             "value_hint": value_hint,
+            "workers": workers,
             "config_overrides": config_overrides,
         }
         handle = ProcessShard(spec, self._ctx)

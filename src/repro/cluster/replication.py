@@ -48,7 +48,7 @@ from repro.cluster.coordinator import (
 )
 from repro.cluster.faults import FaultPlan, FaultyShard
 from repro.cluster.ring import DEFAULT_VNODES, VnodeSpec
-from repro.cluster.shard import MIN_SHARD_EPC_BYTES
+from repro.cluster.shard import MIN_SHARD_EPC_BYTES, resolve_workers
 from repro.errors import (
     IntegrityError,
     KeyNotFoundError,
@@ -599,6 +599,7 @@ def build_replica_group(
     value_hint: int = 16,
     fault_plan: Optional[FaultPlan] = None,
     backend: BackendSpec = None,
+    workers: Optional[int] = None,
     **config_overrides,
 ) -> ReplicaGroup:
     """R independent enclaves for one partition, each with its own keys.
@@ -615,6 +616,9 @@ def build_replica_group(
     if replication < 1:
         raise ValueError("replication factor must be >= 1")
     factory = resolve_backend(backend)
+    # Resolved once, captured by the rebuild closures: a restarted replica
+    # keeps its group's worker count even if the environment changed.
+    workers = resolve_workers(workers)
     shards = []
     for j in range(replication):
         replica_id = f"{group_id}/r{j}"
@@ -632,6 +636,7 @@ def build_replica_group(
                     index=index,
                     seed=base_seed + 7919 * incarnation["n"],
                     value_hint=value_hint,
+                    workers=workers,
                     **config_overrides,
                 )
 
@@ -645,6 +650,7 @@ def build_replica_group(
             index=index,
             seed=replica_seed,
             value_hint=value_hint,
+            workers=workers,
             **config_overrides,
         )
         shards.append(FaultyShard(shard, fault_plan, rebuild=rebuild))
@@ -664,6 +670,7 @@ def build_replicated_cluster(
     seed: int = 0,
     fault_plan: Optional[FaultPlan] = None,
     backend: BackendSpec = None,
+    workers: Optional[int] = None,
     **shard_overrides,
 ) -> ClusterCoordinator:
     """A cluster of N partitions × R replica enclaves behind one ring.
@@ -687,6 +694,7 @@ def build_replicated_cluster(
             seed=seed + 101 * i,
             fault_plan=fault_plan,
             backend=factory,
+            workers=workers,
             **shard_overrides,
         )
         for i in range(n_shards)

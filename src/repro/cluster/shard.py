@@ -15,7 +15,8 @@ detection can work on windowed deltas rather than lifetime totals.
 
 from __future__ import annotations
 
-from typing import List
+import os
+from typing import List, Optional
 
 from repro.bench.harness import build_aria
 from repro.cluster.backend import BackendSpec, resolve_backend
@@ -25,6 +26,27 @@ from repro.sgx.costs import SgxPlatform
 #: Floor for a shard's EPC carve-out; below this the Merkle pinning math
 #: degenerates (mirrors the scaled_platform floor in the bench harness).
 MIN_SHARD_EPC_BYTES = 4096
+
+#: Environment override for the per-shard enclave worker count, consulted
+#: by the cluster builders when no explicit ``workers=`` is given (how the
+#: CI ``parallel`` job re-runs whole suites at ``workers=4``).
+WORKERS_ENV_VAR = "ARIA_SHARD_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument beats ``ARIA_SHARD_WORKERS`` beats 1.
+
+    Resolution happens in the *builder's* process: backends ship the
+    resolved integer in their spawn specs, so a shard-host started with a
+    different environment still builds the shard the coordinator asked
+    for.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR)
+        workers = int(raw) if raw else 1
+    if workers < 1:
+        raise ValueError("shard workers must be >= 1")
+    return workers
 
 
 class Shard:
@@ -39,6 +61,7 @@ class Shard:
         index: str = "hash",
         seed: int = 0,
         value_hint: int = 16,
+        workers: int = 1,
         **config_overrides,
     ):
         self.shard_id = shard_id
@@ -58,7 +81,8 @@ class Shard:
             value_hint=value_hint,
             **config_overrides,
         )
-        self.server = AriaServer(self.store)
+        self.server = AriaServer(self.store, workers=workers)
+        self.workers = workers
         #: Requests routed here since construction (front-door count; the
         #: enclave's own op_* events count executed operations).
         self.ops_routed = 0
@@ -83,7 +107,7 @@ class Shard:
         """One shard's row of the cluster report."""
         events = self.meter.events
         cache = self.store.cache_stats()
-        return {
+        row = {
             "shard": self.shard_id,
             "keys": len(self.store),
             "ops_routed": self.ops_routed,
@@ -97,6 +121,10 @@ class Shard:
             "epc_bytes": self.epc_bytes,
             "epc_used": self.store.enclave.epc.used,
         }
+        exec_stats = self.server.exec_stats()
+        if exec_stats is not None:
+            row["batchexec"] = exec_stats
+        return row
 
     def close(self, timeout: float = 5.0) -> None:
         """Inline shards hold no external resources; process handles do."""
@@ -116,6 +144,7 @@ def build_shards(
     value_hint: int = 16,
     id_prefix: str = "shard",
     backend: BackendSpec = None,
+    workers: Optional[int] = None,
     **config_overrides,
 ) -> List:
     """Carve ``cluster_epc_bytes`` evenly into ``n_shards`` enclaves.
@@ -133,6 +162,7 @@ def build_shards(
     if n_shards < 1:
         raise ValueError("n_shards must be positive")
     factory = resolve_backend(backend)
+    workers = resolve_workers(workers)
     per_shard_epc = cluster_epc_bytes // n_shards
     return [
         factory.create(
@@ -142,6 +172,7 @@ def build_shards(
             index=index,
             seed=seed + i,
             value_hint=value_hint,
+            workers=workers,
             **config_overrides,
         )
         for i in range(n_shards)

@@ -369,6 +369,7 @@ class ShardHost:
                     index=spec["index"],
                     seed=spec["seed"],
                     value_hint=spec["value_hint"],
+                    workers=spec.get("workers", 1),
                     **spec["config_overrides"],
                 )
             except BaseException as exc:
@@ -948,6 +949,7 @@ class SocketBackend(ShardBackend):
         index: str = "hash",
         seed: int = 0,
         value_hint: int = 16,
+        workers: int = 1,
         **config_overrides,
     ) -> SocketShard:
         spec = {
@@ -957,6 +959,7 @@ class SocketBackend(ShardBackend):
             "index": index,
             "seed": seed,
             "value_hint": value_hint,
+            "workers": workers,
             "config_overrides": config_overrides,
         }
         attempts = max(1, len(self.endpoints()))

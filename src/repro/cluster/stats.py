@@ -110,14 +110,28 @@ class ClusterStats:
             row["window_cycles"] = delta.cycles
             row["window_ops"] = self._ops(delta)
             row["window_ecalls"] = delta.events["ecall"]
+            if delta.events["batchexec_batch"]:
+                # The parallel engine's windowed view, off the same meter
+                # delta as everything else (events cross backends on
+                # snapshots, so these are identical inline/process/socket).
+                row["window_conflicts"] = (
+                    delta.events["batchexec_conflict_raw"]
+                    + delta.events["batchexec_conflict_waw"]
+                    + delta.events["batchexec_conflict_war"])
+                row["window_deferred"] = delta.events["batchexec_deferred"]
+                row["window_fallback_rounds"] = \
+                    delta.events["batchexec_fallback_round"]
             per_shard[shard.shard_id] = row
         ops = self.total_ops()
         cycles_max = self.cycles_max()
+        # A shard that crashed before its first stats() call serves a
+        # minimal fallback row (remote.py): default the derived fields
+        # rather than blowing up the report a crash made interesting.
         weighted_hits = sum(
-            row["cache_hit_ratio"] * row["keys"]
+            row.get("cache_hit_ratio", 0.0) * row.get("keys", 0)
             for row in per_shard.values()
         )
-        total_keys = sum(row["keys"] for row in per_shard.values())
+        total_keys = sum(row.get("keys", 0) for row in per_shard.values())
         # Replica-aware extras: present only when at least one "shard" is a
         # ReplicaGroup (duck-checked, so plain clusters pay nothing).
         replicas = 0
@@ -152,6 +166,25 @@ class ClusterStats:
             cluster["replicas"] = replicas
             cluster["replicas_down"] = replicas_down
             cluster["failovers"] = failovers
+        # Intra-shard parallelism aggregate: present when any shard (for
+        # replica groups: any primary) runs the batchexec engine.
+        exec_rows = [row["batchexec"] for row in per_shard.values()
+                     if "batchexec" in row]
+        if exec_rows:
+            serial = sum(r["serial_cycles"] for r in exec_rows)
+            critical = sum(r["critical_cycles"] for r in exec_rows)
+            cluster["batchexec"] = {
+                "workers": max(r["workers"] for r in exec_rows),
+                "batches": sum(r["batches"] for r in exec_rows),
+                "conflicts": sum(r["conflicts_raw"] + r["conflicts_waw"]
+                                 + r["conflicts_war"] for r in exec_rows),
+                "deferred": sum(r["deferred"] for r in exec_rows),
+                "fallback_rounds": sum(r["fallback_rounds"]
+                                       for r in exec_rows),
+                "serial_cycles": serial,
+                "critical_cycles": critical,
+                "speedup": serial / critical if critical > 0 else 1.0,
+            }
         if self._overload is not None:
             counters = self._overload() if callable(self._overload) \
                 else self._overload

@@ -1,0 +1,318 @@
+"""Deterministic intra-shard batch parallelism via reservation tables.
+
+A shard used to execute its batch serially inside one enclave thread.  This
+module adopts the idiom of the *other* Aria — Lu et al.'s deterministic
+OLTP protocol — inside a shard: split each batch across N simulated enclave
+worker contexts and run a **reserve → execute → commit** pipeline per
+batch.
+
+Per round over the not-yet-committed requests:
+
+1. **Reserve.**  Every request writes its key into per-batch read/write
+   reservation tables with *lowest-request-index-wins* (a min, so the
+   merged table is identical no matter how requests are partitioned across
+   workers — the reason reservations parallelize without locks).
+2. **Check.**  A request commits this round iff
+
+   * it holds the write reservation for every key it writes (**WAW**:
+     a lower-index writer wins, later writers defer),
+   * no lower-index request holds a *read* reservation on a key it
+     writes (**WAR**: the earlier reader must observe the pre-write
+     value, so the writer defers one round),
+   * no lower-index request holds a *write* reservation on a key it
+     reads (**RAW**: the reader must observe its predecessor's write, so
+     it defers until the writer has committed).
+
+3. **Execute/commit.**  Winners execute; losers are *deferred* into the
+   next round — the reordering fallback.  The lowest surviving index
+   always wins every reservation it takes, so each round commits at least
+   one request and a batch of n requests drains in at most n rounds.
+
+Determinism and the cost model
+------------------------------
+
+The commit schedule is a pure function of ``(request index, key, opcode)``
+— never of N — so the responses and the canonical cycle charges are
+**bit-identical for any worker count**, which is what lets the process and
+socket backends run real untrusted-side worker threads without perturbing
+the simulation.  Concretely:
+
+* The *canonical* meter (the enclave's) is charged in request-index order,
+  exactly as the serial loop would.  Floats are not associative, so this
+  is not a nicety: merging per-worker charge streams in any other grouping
+  would drift in the last ulp and break bit-equality across N.
+* The *parallel timing model* lives in per-worker attribution meters.
+  Requests alive in a round are dealt round-robin to the N worker lanes;
+  each lane accrues its requests' reservation-table traffic
+  (``resv_write`` per reservation, ``resv_read`` per check probe) plus the
+  measured canonical cost of the requests it commits.  A round's span is
+  the slowest lane plus two barriers (reserve and commit rendezvous);
+  the batch's *critical path* is the sum of its rounds plus the serial
+  boundary work (the ECALL + copy charged by :class:`AriaServer`).
+* Worker ECALL amortization: worker TCS threads enter the enclave once
+  and park (the HotCalls pattern), so each extra worker pays one ``ecall``
+  at engine start — amortized over the engine's lifetime, counted in
+  ``overhead_cycles``, never per batch.
+
+``speedup = serial_cycles / critical_cycles`` is the honest simulated
+scaling figure: reservation traffic and barriers are priced *into* the
+critical path, so conflict-heavy or tiny batches show the overhead rather
+than pretending parallelism is free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.server.protocol import OpCode, Request, Response
+from repro.sgx.meter import CycleMeter
+
+__all__ = ["BatchExecutor", "read_write_sets"]
+
+
+def read_write_sets(request: Request) -> tuple:
+    """The (read-set, write-set) of one request, as key tuples.
+
+    GET reads its key; PUT/DELETE write theirs; HEALTH (and anything
+    unknown, which dispatch rejects) touches no data and commits in the
+    first round unconditionally.
+    """
+    if request.opcode == OpCode.GET:
+        return (request.key,), ()
+    if request.opcode in (OpCode.PUT, OpCode.DELETE):
+        return (), (request.key,)
+    return (), ()
+
+
+class BatchExecutor:
+    """Reserve → execute → commit engine for one shard's batches.
+
+    ``workers=1`` still runs the full pipeline (useful to test that the
+    engine itself is serial-equivalent); :class:`~repro.server.server
+    .AriaServer` only engages the engine for ``workers >= 2`` so the
+    default configuration stays byte-for-byte the seed behaviour.
+    """
+
+    def __init__(self, store, *, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._store = store
+        self._enclave = store.enclave
+        self.workers = workers
+        #: Per-worker attribution meters: the parallel timing model.  The
+        #: canonical enclave meter stays serial-identical; these record
+        #: where the work *would* run and what the parallel machinery adds.
+        self.worker_meters: List[CycleMeter] = [
+            CycleMeter() for _ in range(workers)
+        ]
+        costs = self._enclave.costs
+        # Worker TCS threads enter once and park (HotCalls): one ECALL per
+        # extra worker for the engine's lifetime, not per batch.
+        self.overhead_cycles: float = costs.ecall * (workers - 1)
+        self.serial_cycles: float = 0.0
+        self.critical_cycles: float = 0.0
+        # Lifetime counters (also mirrored as canonical meter *events*,
+        # which piggyback across process/socket backends on MeterSnapshots).
+        self.batches = 0
+        self.rounds = 0
+        self.fallback_rounds = 0
+        self.deferred = 0
+        self.conflicts_raw = 0
+        self.conflicts_waw = 0
+        self.conflicts_war = 0
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule(self, requests: List[Request]) -> List[List[int]]:
+        """The per-round commit sets — a pure function of indices and keys.
+
+        Also classifies conflicts (RAW/WAW/WAR) and counts deferrals; the
+        caller charges for the table traffic.  Returns a list of rounds,
+        each the sorted indices committing that round.
+        """
+        sets = [read_write_sets(r) for r in requests]
+        remaining = list(range(len(requests)))
+        rounds: List[List[int]] = []
+        while remaining:
+            read_res: dict = {}
+            write_res: dict = {}
+            for i in remaining:
+                reads, writes = sets[i]
+                for key in writes:
+                    if key not in write_res or i < write_res[key]:
+                        write_res[key] = i
+                for key in reads:
+                    if key not in read_res or i < read_res[key]:
+                        read_res[key] = i
+            committed: List[int] = []
+            deferred: List[int] = []
+            for i in remaining:
+                reads, writes = sets[i]
+                verdict = None
+                for key in writes:
+                    if write_res[key] != i:
+                        verdict = "waw"
+                        break
+                    if key in read_res and read_res[key] < i:
+                        verdict = "war"
+                        break
+                if verdict is None:
+                    for key in reads:
+                        if key in write_res and write_res[key] < i:
+                            verdict = "raw"
+                            break
+                if verdict is None:
+                    committed.append(i)
+                else:
+                    deferred.append(i)
+                    self.deferred += 1
+                    if verdict == "raw":
+                        self.conflicts_raw += 1
+                    elif verdict == "waw":
+                        self.conflicts_waw += 1
+                    else:
+                        self.conflicts_war += 1
+            # The lowest remaining index wins every reservation it takes
+            # and nothing precedes it: progress is guaranteed.
+            assert committed, "reservation scheduling must always make progress"
+            rounds.append(committed)
+            remaining = deferred
+        return rounds
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self,
+        requests: Iterable[Request],
+        dispatch: Callable[[Request], Response],
+    ) -> List[Response]:
+        """Run one batch through the pipeline; returns responses in order.
+
+        ``dispatch`` is the server's per-request handler.  Canonical
+        charges land on the enclave meter in request-index order (the
+        commit schedule never reorders *charging*, only the timing model),
+        so cycles are bit-identical to the serial loop for any N.
+        """
+        requests = list(requests)
+        meter = self._enclave.meter
+        costs = self._enclave.costs
+        n_workers = self.workers
+
+        deferred_before = self.deferred
+        conflicts_before = (self.conflicts_raw, self.conflicts_waw,
+                            self.conflicts_war)
+        rounds = self.schedule(requests)
+
+        # Canonical execution: index order, measured per request.
+        responses: List[Optional[Response]] = [None] * len(requests)
+        request_cycles: List[float] = [0.0] * len(requests)
+        for i, request in enumerate(requests):
+            before = meter.cycles
+            responses[i] = dispatch(request)
+            request_cycles[i] = meter.cycles - before
+
+        # Parallel timing model: deal each round's alive set round-robin
+        # to the worker lanes, price the reservation traffic, and take the
+        # slowest lane plus the phase barriers as the round's span.
+        sets = [read_write_sets(r) for r in requests]
+        alive = list(range(len(requests)))
+        batch_critical = 0.0
+        for round_index, committed in enumerate(rounds):
+            committed_set = set(committed)
+            lane_cycles = [0.0] * n_workers
+            for pos, i in enumerate(alive):
+                lane = pos % n_workers
+                lane_meter = self.worker_meters[lane]
+                reads, writes = sets[i]
+                n_resv = len(reads) + len(writes)
+                # One min-store per reservation; the check probes the
+                # write table for every key and the read table for writes.
+                n_probe = len(reads) + 2 * len(writes)
+                resv = (costs.resv_write * n_resv
+                        + costs.resv_read * n_probe)
+                lane_meter.charge_event("resv_write", costs.resv_write
+                                        * n_resv, n_resv)
+                lane_meter.charge_event("resv_read", costs.resv_read
+                                        * n_probe, n_probe)
+                lane_cycles[lane] += resv
+                if i in committed_set:
+                    lane_meter.charge_event("exec_commit",
+                                            request_cycles[i])
+                    lane_cycles[lane] += request_cycles[i]
+            barriers = (2 * costs.worker_barrier if n_workers > 1 else 0.0)
+            batch_critical += max(lane_cycles) + barriers
+            self.overhead_cycles += barriers
+            self.rounds += 1
+            if round_index > 0:
+                self.fallback_rounds += 1
+            alive = [i for i in alive if i not in committed_set]
+
+        self.batches += 1
+        self.serial_cycles += sum(request_cycles)
+        self.critical_cycles += batch_critical
+        # Cycle-free canonical *events*: identical for every N (the
+        # schedule is), and they ride MeterSnapshots across backends so
+        # ClusterStats/OP_HEALTH see them without extra RPCs.
+        meter.count("batchexec_batch")
+        meter.count("batchexec_round", len(rounds))
+        if len(rounds) > 1:
+            meter.count("batchexec_fallback_round", len(rounds) - 1)
+        new_deferred = self.deferred - deferred_before
+        if new_deferred:
+            meter.count("batchexec_deferred", new_deferred)
+        for event, total, before in (
+            ("batchexec_conflict_raw", self.conflicts_raw,
+             conflicts_before[0]),
+            ("batchexec_conflict_waw", self.conflicts_waw,
+             conflicts_before[1]),
+            ("batchexec_conflict_war", self.conflicts_war,
+             conflicts_before[2]),
+        ):
+            if total > before:
+                meter.count(event, total - before)
+        return responses  # type: ignore[return-value]
+
+    def note_boundary(self, cycles: float) -> None:
+        """Account the serial boundary work (ECALL + copies) of one batch.
+
+        Boundary crossing is inherently serial — one worker carries the
+        batch across — so it extends both the serial and the critical
+        path, bounding speedup by Amdahl's law.
+        """
+        self.serial_cycles += cycles
+        self.critical_cycles += cycles
+
+    # -- reporting ----------------------------------------------------------------
+
+    def merged_worker_meter(self) -> CycleMeter:
+        """Fold the per-worker attribution meters in lane order.
+
+        Deterministic by construction: lane order is fixed, and each
+        lane's stream was accumulated in request-index order.
+        """
+        merged = CycleMeter()
+        for lane_meter in self.worker_meters:
+            merged.merge(lane_meter.snapshot())
+        return merged
+
+    def stats(self) -> dict:
+        """The engine's row for ``Shard.stats()`` / the cluster report."""
+        merged = self.merged_worker_meter()
+        return {
+            "workers": self.workers,
+            "batches": self.batches,
+            "rounds": self.rounds,
+            "fallback_rounds": self.fallback_rounds,
+            "deferred": self.deferred,
+            "conflicts_raw": self.conflicts_raw,
+            "conflicts_waw": self.conflicts_waw,
+            "conflicts_war": self.conflicts_war,
+            "serial_cycles": self.serial_cycles,
+            "critical_cycles": self.critical_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "resv_reads": merged.events["resv_read"],
+            "resv_writes": merged.events["resv_write"],
+            "speedup": (self.serial_cycles / self.critical_cycles
+                        if self.critical_cycles > 0 else 1.0),
+            "worker_cycles": [m.cycles for m in self.worker_meters],
+        }

@@ -30,11 +30,29 @@ from repro.server.protocol import (
 
 
 class AriaServer:
-    """Dispatches decoded requests against an Aria store, inside the enclave."""
+    """Dispatches decoded requests against an Aria store, inside the enclave.
 
-    def __init__(self, store):
+    ``workers`` enables deterministic intra-shard batch parallelism (see
+    :mod:`repro.server.batchexec`): batches run through an Aria-style
+    reserve → execute → commit pipeline over N simulated enclave worker
+    contexts.  Responses and canonical cycle charges are bit-identical for
+    any worker count; the parallel timing model (critical path, reservation
+    and barrier overhead) is reported via :meth:`exec_stats`.  ``workers=1``
+    keeps the original serial loop.
+    """
+
+    def __init__(self, store, *, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self._store = store
         self._enclave = store.enclave
+        self.workers = workers
+        if workers > 1:
+            from repro.server.batchexec import BatchExecutor
+
+            self.engine = BatchExecutor(store, workers=workers)
+        else:
+            self.engine = None
 
     # -- single-request entry point ------------------------------------------------
 
@@ -59,13 +77,17 @@ class AriaServer:
         trust the claimed ``count`` of a frame it failed to parse, so it
         never fabricates per-request responses for it.
         """
-        self._enter(len(batch_bytes))
+        boundary = self._enter(len(batch_bytes))
         try:
             requests = protocol.decode_batch(batch_bytes)
         except ProtocolError:
             return self._exit(protocol.encode_batch_rejection())
-        responses = [self._dispatch(request) for request in requests]
-        return self._exit(protocol.encode_batch_responses(responses))
+        responses = self._run(requests)
+        payload = protocol.encode_batch_responses(responses)
+        boundary += self._charge_copy(len(payload))
+        if self.engine is not None:
+            self.engine.note_boundary(boundary)
+        return payload
 
     def flush_batch(self, requests: Iterable[Request]) -> list:
         """Batch-flush hook for pre-decoded requests (the cluster path).
@@ -75,31 +97,62 @@ class AriaServer:
         would be pure Python overhead with no simulated counterpart.  This
         entry point charges exactly what :meth:`handle_batch` would — one
         ECALL plus the boundary copy of the encoded batch in and the
-        encoded responses out — and returns ``Response`` objects.
+        encoded responses out — and enforces exactly the same caps: a
+        batch ``decode_batch`` would reject (oversize count/frame/key/
+        value, empty key, value on non-PUT, unknown opcode) is rejected
+        as a unit with the whole-batch rejection shape, none of its
+        requests executed.  Returns ``Response`` objects.
         """
         requests = list(requests)
-        self._enter(protocol.batch_encoded_size(requests))
-        responses = [self._dispatch(request) for request in requests]
-        self._enclave.meter.charge(
-            self._enclave.costs.mem_per_byte
-            * protocol.batch_responses_encoded_size(responses)
-        )
+        boundary = self._enter(protocol.batch_encoded_size(requests))
+        if protocol.batch_violation(requests) is not None:
+            responses = [Response(Status.BAD_REQUEST)]
+            self._charge_copy(
+                protocol.batch_responses_encoded_size(responses))
+            return responses
+        responses = self._run(requests)
+        boundary += self._charge_copy(
+            protocol.batch_responses_encoded_size(responses))
+        if self.engine is not None:
+            self.engine.note_boundary(boundary)
         return responses
 
     # -- internals ----------------------------------------------------------------------
 
-    def _enter(self, nbytes: int) -> None:
+    def _run(self, requests: list) -> list:
+        """Execute a validated batch: the engine when workers > 1."""
+        if self.engine is None:
+            return [self._dispatch(request) for request in requests]
+        return self.engine.execute(requests, self._dispatch)
+
+    def _enter(self, nbytes: int) -> float:
+        """Cross into the enclave: one ECALL + the parameter copy.
+
+        Returns the cycles charged (measured, so ``MeterPause`` windows
+        report zero), which the engine accounts as serial boundary work.
+        """
+        before = self._enclave.meter.cycles
         self._enclave.ecall()
-        # Parameters are copied across the boundary with security checks.
+        self._charge_copy(nbytes)
+        return self._enclave.meter.cycles - before
+
+    def _charge_copy(self, nbytes: int) -> float:
+        """The boundary copy charge, shared by every entry/exit point."""
+        before = self._enclave.meter.cycles
         self._enclave.meter.charge(
             self._enclave.costs.mem_per_byte * nbytes
         )
+        return self._enclave.meter.cycles - before
 
     def _exit(self, payload: bytes) -> bytes:
-        self._enclave.meter.charge(
-            self._enclave.costs.mem_per_byte * len(payload)
-        )
+        self._charge_copy(len(payload))
         return payload
+
+    def exec_stats(self) -> "dict | None":
+        """The batch-execution engine's counters, or ``None`` when serial."""
+        if self.engine is None:
+            return None
+        return self.engine.stats()
 
     def _dispatch(self, request: Request) -> Response:
         try:

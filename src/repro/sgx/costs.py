@@ -64,6 +64,21 @@ class CostModel:
     compare_per_byte: float = 0.25
     branch: float = 5.0  # generic in-enclave bookkeeping step
 
+    # Intra-shard batch parallelism (extension: repro.server.batchexec).
+    # The reservation tables of Aria-style deterministic batch execution
+    # (Lu et al.) are compact hash-addressed arrays in EPC: one slot probe
+    # or lowest-index-wins store is a dependent EPC access.  The key hash
+    # that addresses the slot is computed once per request by the owning
+    # worker and reused for every table op (execution needs it anyway), so
+    # it is not re-charged here.
+    resv_read: float = 200.0   # reservation-table probe (one epc_access)
+    resv_write: float = 200.0  # reservation-table min-store (one epc_access)
+    # One rendezvous of the enclave worker threads at a phase boundary.
+    # In-enclave synchronization cannot use OS futexes (no syscalls inside);
+    # SGX runtimes spin on EPC-resident flags, so a barrier costs a few
+    # EPC round-trips per worker, not an OCALL.
+    worker_barrier: float = 500.0
+
     # Wire-session establishment (extension: repro.cluster.session).  A
     # 2048-bit modular exponentiation costs on the order of 10^6 cycles on
     # the paper's platform, and the handshake performs two (offer + shared

@@ -1,0 +1,292 @@
+"""Intra-shard batch parallelism: determinism, termination, entry parity.
+
+The load-bearing property of :mod:`repro.server.batchexec` is that the
+worker count is *invisible* to everything except the parallel timing
+model: responses and canonical cycle charges must be bit-identical to the
+serial loop for any N.  The hypothesis test below drives deliberately
+conflict-heavy random batches (a handful of hot keys, mixed opcodes)
+through N ∈ {1, 2, 4, 7} and demands exact equality — of the response
+bytes *and* of the meter, down to the last float ulp.
+
+The same file owns the entry-point parity contract (ISSUE satellites 1-2):
+``flush_batch`` must charge and reject exactly as ``handle_batch`` does,
+for well-formed and for cap-violating batches alike.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AriaConfig
+from repro.core.store import AriaStore
+from repro.server import protocol
+from repro.server.batchexec import BatchExecutor, read_write_sets
+from repro.server.protocol import (
+    MAX_BATCH_COUNT,
+    MAX_KEY_BYTES,
+    MAX_VALUE_BYTES,
+    OpCode,
+    Request,
+    Response,
+    STATUS_BAD_REQUEST,
+    Status,
+)
+from repro.server.server import AriaServer
+from repro.sgx.costs import SgxPlatform
+
+pytestmark = pytest.mark.parallel
+
+_REQ_HEADER = struct.Struct("<BHI")
+_BATCH_HEADER = struct.Struct("<H")
+
+# A small hot keyspace guarantees the random batches collide constantly:
+# the scheduler's RAW/WAW/WAR paths and the reordering fallback all fire.
+HOT_KEYS = [f"hot-{i}".encode() for i in range(8)]
+
+
+def make_server(workers=1):
+    store = AriaStore(
+        AriaConfig(index="hash", n_buckets=64, initial_counters=2048,
+                   secure_cache_bytes=1 << 16, pin_levels=1,
+                   stop_swap_enabled=False),
+        platform=SgxPlatform(epc_bytes=4 << 20),
+    )
+    return AriaServer(store, workers=workers), store
+
+
+def _request(op, key_index, value):
+    key = HOT_KEYS[key_index]
+    if op == "put":
+        return protocol.put(key, value)
+    if op == "get":
+        return protocol.get(key)
+    if op == "delete":
+        return protocol.delete(key)
+    return protocol.health()
+
+
+batches = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "delete", "put", "get",
+                             "health"]),
+            st.integers(0, len(HOT_KEYS) - 1),
+            st.binary(min_size=0, max_size=24),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(ops_batches=batches)
+    def test_bit_identical_across_worker_counts(self, ops_batches):
+        """Responses AND cycles match the serial loop for N ∈ {1,2,4,7}.
+
+        Every batch also terminates (``schedule`` would assert otherwise,
+        and the calls below would hang the suite if a round ever failed to
+        drain) — the reordering-fallback progress guarantee, under fire.
+        """
+        request_batches = [
+            [_request(*op) for op in ops] for ops in ops_batches
+        ]
+        runs = {}
+        for workers in (1, 2, 4, 7):
+            server, store = make_server(workers)
+            responses = []
+            for batch in request_batches:
+                responses.append(
+                    protocol.encode_batch_responses(
+                        server.flush_batch(batch)))
+            runs[workers] = (responses, store.enclave.meter.snapshot())
+        serial_responses, serial_meter = runs[1]
+        for workers in (2, 4, 7):
+            responses, meter = runs[workers]
+            assert responses == serial_responses
+            assert meter.cycles == serial_meter.cycles
+        # The canonical batchexec *events* are a pure function of the
+        # schedule, never of N: identical across every engine run.
+        parallel_meters = [runs[w][1] for w in (2, 4, 7)]
+        for meter in parallel_meters[1:]:
+            assert meter.events == parallel_meters[0].events
+
+    def test_engine_workers1_matches_serial_dispatch(self):
+        """The pipeline itself is serial-equivalent even at N=1."""
+        server, store = make_server(1)
+        engine_server, engine_store = make_server(1)
+        engine = BatchExecutor(engine_store, workers=1)
+        batch = [protocol.put(b"k", b"v"), protocol.get(b"k"),
+                 protocol.put(b"k", b"w"), protocol.get(b"k"),
+                 protocol.delete(b"k"), protocol.get(b"k")]
+        plain = [server._dispatch(r) for r in batch]
+        piped = engine.execute(batch, engine_server._dispatch)
+        assert piped == plain
+        assert engine_store.enclave.meter.cycles == \
+            store.enclave.meter.cycles
+
+
+class TestScheduling:
+    def test_all_same_key_batch_drains_one_per_round(self):
+        """n conflicting writers → n rounds of one commit each."""
+        _, store = make_server(1)
+        engine = BatchExecutor(store, workers=4)
+        n = 9
+        batch = [protocol.put(b"k", str(i).encode()) for i in range(n)]
+        rounds = engine.schedule(batch)
+        assert rounds == [[i] for i in range(n)]
+        assert engine.deferred == n * (n - 1) // 2
+        assert engine.conflicts_waw == engine.deferred
+
+    def test_conflict_classification(self):
+        _, store = make_server(1)
+        engine = BatchExecutor(store, workers=2)
+        # WAW: two writers of one key; index 0 wins the reservation.
+        assert engine.schedule([protocol.put(b"a", b"1"),
+                                protocol.put(b"a", b"2")]) == [[0], [1]]
+        assert engine.conflicts_waw == 1
+        # WAR: the earlier reader must see the pre-write value, so the
+        # writer defers a round even though it holds the reservation.
+        assert engine.schedule([protocol.get(b"b"),
+                                protocol.put(b"b", b"1")]) == [[0], [1]]
+        assert engine.conflicts_war == 1
+        # RAW: the reader must observe its predecessor's write.
+        assert engine.schedule([protocol.put(b"c", b"1"),
+                                protocol.get(b"c")]) == [[0], [1]]
+        assert engine.conflicts_raw == 1
+        # Disjoint keys: everything commits in round one.
+        assert engine.schedule([protocol.put(b"d", b"1"),
+                                protocol.get(b"e")]) == [[0, 1]]
+
+    def test_read_write_sets(self):
+        assert read_write_sets(protocol.get(b"k")) == ((b"k",), ())
+        assert read_write_sets(protocol.put(b"k", b"v")) == ((), (b"k",))
+        assert read_write_sets(protocol.delete(b"k")) == ((), (b"k",))
+        assert read_write_sets(protocol.health()) == ((), ())
+
+    def test_critical_path_shrinks_with_workers(self):
+        """Conflict-free reads: more lanes, shorter critical path."""
+        criticals = {}
+        for workers in (1, 2, 4):
+            server, store = make_server(1)
+            keys = [f"k-{i}".encode() for i in range(64)]
+            for key in keys:
+                server._store.put(key, b"v")
+            engine = BatchExecutor(store, workers=workers)
+            engine.execute([protocol.get(k) for k in keys],
+                           server._dispatch)
+            criticals[workers] = engine.critical_cycles
+        assert criticals[4] < criticals[2] < criticals[1]
+
+    def test_stats_counters(self):
+        server, store = make_server(4)
+        batch = [protocol.put(b"k", b"a"), protocol.put(b"k", b"b"),
+                 protocol.get(b"k"), protocol.get(b"other")]
+        server.flush_batch(batch)
+        stats = server.exec_stats()
+        assert stats["workers"] == 4
+        assert stats["batches"] == 1
+        # Rounds: index 0 commits, then 1, then 2 (RAW behind both
+        # writers); the disjoint read commits in round one.
+        assert stats["rounds"] == 3
+        assert stats["fallback_rounds"] == 2
+        assert stats["deferred"] == 3
+        assert stats["conflicts_waw"] == 1
+        assert stats["conflicts_raw"] == 2
+        assert stats["serial_cycles"] > 0
+        assert stats["critical_cycles"] > 0
+        assert stats["resv_reads"] > 0 and stats["resv_writes"] > 0
+        assert len(stats["worker_cycles"]) == 4
+        # The canonical meter mirrors the same counters as events.
+        events = store.enclave.meter.events
+        assert events["batchexec_batch"] == 1
+        assert events["batchexec_round"] == 3
+        assert events["batchexec_fallback_round"] == 2
+        assert events["batchexec_deferred"] == 3
+        assert events["batchexec_conflict_waw"] == 1
+        assert events["batchexec_conflict_raw"] == 2
+
+    def test_serial_server_has_no_engine(self):
+        server, store = make_server(1)
+        assert server.exec_stats() is None
+        server.flush_batch([protocol.put(b"k", b"v")])
+        assert store.enclave.meter.events["batchexec_batch"] == 0
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_server(0)
+        _, store = make_server(1)
+        with pytest.raises(ValueError):
+            BatchExecutor(store, workers=0)
+
+
+class TestEntryParity:
+    """Satellites 1-2: flush_batch charges and rejects as handle_batch."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_valid_batch_cycles_match(self, workers):
+        batch = [protocol.put(b"a", b"1"), protocol.get(b"a"),
+                 protocol.put(b"a", b"2"), protocol.get(b"a"),
+                 protocol.get(b"missing"), protocol.delete(b"a")]
+        wire_server, wire_store = make_server(workers)
+        raw = wire_server.handle_batch(protocol.encode_batch(batch))
+        wire_responses = protocol.decode_batch_responses(
+            raw, expected=len(batch))
+        flush_server, flush_store = make_server(workers)
+        flush_responses = flush_server.flush_batch(batch)
+        assert flush_responses == wire_responses
+        assert flush_store.enclave.meter.cycles == \
+            wire_store.enclave.meter.cycles
+
+    @pytest.mark.parametrize("name,requests", [
+        ("empty_key", [Request(OpCode.GET, b"")]),
+        ("value_on_get", [Request(OpCode.GET, b"k", b"v")]),
+        ("unknown_opcode", [Request(9, b"k")]),
+        ("oversize_key", [Request(OpCode.GET, b"k" * (MAX_KEY_BYTES + 1))]),
+        ("oversize_value",
+         [Request(OpCode.PUT, b"k", b"v" * (MAX_VALUE_BYTES + 1))]),
+        ("oversize_count",
+         [Request(OpCode.GET, b"k")] * (MAX_BATCH_COUNT + 1)),
+    ])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_rejection_parity(self, workers, name, requests):
+        """Every cap violation: same rejection shape, same cycles.
+
+        The raw frames are hand-packed because ``encode_batch`` refuses to
+        build some of these — the wire server must see exactly the bytes a
+        hostile client could send.
+        """
+        raw = _pack_batch(requests)
+        wire_server, wire_store = make_server(workers)
+        payload = wire_server.handle_batch(raw)
+        wire_responses = protocol.decode_batch_responses(payload)
+        assert protocol.is_batch_rejection(wire_responses)
+        flush_server, flush_store = make_server(workers)
+        flush_responses = flush_server.flush_batch(requests)
+        assert protocol.is_batch_rejection(flush_responses)
+        assert flush_store.enclave.meter.cycles == \
+            wire_store.enclave.meter.cycles
+        # Rejections execute nothing: no batch ever entered the engine.
+        assert wire_store.enclave.meter.events["batchexec_batch"] == 0
+        assert flush_store.enclave.meter.events["batchexec_batch"] == 0
+        assert protocol.batch_violation(list(requests)) is not None
+
+    def test_batch_violation_passes_valid_batches(self):
+        assert protocol.batch_violation(
+            [protocol.put(b"k", b"v"), protocol.get(b"k"),
+             protocol.delete(b"k"), protocol.health()]) is None
+
+
+def _pack_batch(requests):
+    """Pack a batch frame without the encoder's validity checks."""
+    frames = [
+        _REQ_HEADER.pack(r.opcode, len(r.key), len(r.value))
+        + r.key + r.value
+        for r in requests
+    ]
+    return _BATCH_HEADER.pack(len(frames)) + b"".join(frames)
