@@ -1,0 +1,57 @@
+"""Row T1: multi-tenant fairness under a zipf(0.99) whale.
+
+Drives :func:`repro.bench.experiments.cluster_tenancy` — a whale
+hammering its namespace with a skewed WR50 stream while a minnow with a
+small uniform working set re-runs a fixed window — and asserts the
+acceptance bar from ARCHITECTURE §16: with the front door armed
+(per-tenant admission + Secure-Cache quotas) the minnow keeps >= 0.8 of
+its solo goodput, every whale shed is typed and charged to the whale,
+and the simulated columns are bit-identical across all three shard
+backends.
+"""
+
+import pytest
+
+from repro.bench.experiments import cluster_tenancy
+
+from conftest import bench_scale
+
+
+@pytest.mark.tenant
+@pytest.mark.dist
+def test_tenant_fairness_whale_and_minnow(run_experiment):
+    result = run_experiment(cluster_tenancy, scale=bench_scale(2048),
+                            n_ops=2000)
+
+    for backend in ("inline", "process", "socket"):
+        (unarmed,) = result.where(backend=backend, mode="unarmed")
+        (armed,) = result.where(backend=backend, mode="armed")
+
+        # Unarmed: nothing is shed and the whale's flood taxes the
+        # minnow's re-run (the motivation row).
+        assert unarmed["whale_shed"] == 0
+        assert unarmed["fairness"] < 1.0
+
+        # Armed: the T1 acceptance bar — the minnow keeps >= 0.8 of its
+        # solo goodput, and arming strictly improves on unarmed.
+        assert armed["fairness"] >= 0.8, (backend, armed["fairness"])
+        assert armed["fairness"] > unarmed["fairness"]
+
+        # The whale was shed, and every shed names the whale's own rate
+        # limit — charged to the offending principal, never to a global
+        # gate (the hint's value is pinned by the unit/wire suites).
+        assert armed["whale_shed"] > 0
+        assert armed["typed_shed"] == armed["whale_shed"]
+
+    # Tenancy decisions are untrusted parent-side work on an injected
+    # clock: the enclaves' simulated work and outputs are byte-for-byte
+    # identical across the inline, process, and socket backends.
+    for mode in ("unarmed", "armed"):
+        (inline,) = result.where(backend="inline", mode=mode)
+        (process,) = result.where(backend="process", mode=mode)
+        (sock,) = result.where(backend="socket", mode=mode)
+        for column in ("responses_sha256", "minnow_solo_cpo",
+                       "minnow_contended_cpo", "fairness", "whale_shed",
+                       "typed_shed", "evict_denied"):
+            assert inline[column] == process[column], (column, mode)
+            assert inline[column] == sock[column], (column, mode)

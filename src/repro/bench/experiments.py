@@ -1614,6 +1614,152 @@ def cluster_overload(scale: int = 2048, n_ops: int = 2000,
     return result
 
 
+def cluster_tenancy(scale: int = 2048, n_ops: int = 2000,
+                    n_shards: int = 3,
+                    batch_window: int = 8) -> ExperimentResult:
+    """Row T1: whale-and-minnows fairness behind the multi-tenant front door.
+
+    One cluster, two principals: a **whale** driving a zipf(0.99) WR50
+    stream through its own key namespace, and a **minnow** with a small
+    uniform working set.  Per backend, the minnow runs a fixed request
+    window three times — solo (the baseline), then again after/while the
+    whale floods — under two modes:
+
+    * ``unarmed`` — the roster exists (namespaces route) but carries no
+      rate limits and no cache quotas: the whale's flood evicts the
+      minnow's Merkle nodes and the minnow's re-run pays swap-ins;
+    * ``armed`` — the whale is rate-limited at the front door (sheds are
+      typed ``OVERLOADED`` with the *whale's own* bucket refill time as
+      the hint) and the minnow holds a Secure-Cache occupancy quota on
+      every shard, so the flood cannot displace its nodes.
+
+    ``fairness`` is the minnow's solo cycles-per-op over its contended
+    cycles-per-op (1.0 = the whale is invisible); the T1 acceptance bar
+    is ``fairness >= 0.8`` armed, and armed > unarmed.  ``typed_shed``
+    counts whale sheds whose reason names the whale's own rate limit —
+    it must equal ``whale_shed`` (every shed is charged to the offending
+    principal; the hint's tenant-correct *value* is pinned by the unit
+    and wire suites).  Buckets run on a deterministic stepping clock
+    and every tenancy decision is untrusted parent-side work, so all
+    simulated columns — sheds, denials, digests — are asserted
+    bit-identical across the inline/process/socket backends.
+    """
+    import hashlib
+    import json
+
+    from repro.cluster import ClusterConfig, TenancyConfig, TenantConfig
+    from repro.server.protocol import (
+        Status,
+        encode_batch_responses,
+        overload_reason,
+        retry_after_hint,
+    )
+
+    result = ExperimentResult(
+        exp_id="Cluster T1",
+        title="Multi-tenant fairness: zipf(0.99) whale vs uniform minnow, "
+              "per-tenant admission + Secure-Cache quotas (WR50, 16B)",
+        columns=["backend", "mode", "minnow_solo_cpo",
+                 "minnow_contended_cpo", "fairness", "whale_shed",
+                 "typed_shed", "evict_denied", "responses_sha256"],
+    )
+    n_keys = scaled_keys(scale)
+    minnow_keys = max(64, n_keys // 8)
+    whale_load = YcsbWorkload(n_keys=n_keys, read_ratio=0.5, value_size=16,
+                              distribution="zipfian", skew=0.99)
+    minnow_load = YcsbWorkload(n_keys=minnow_keys, read_ratio=0.5,
+                               value_size=16, distribution="uniform")
+    whale_requests = _as_requests(whale_load.operations(n_ops))
+    minnow_window = _as_requests(minnow_load.operations(max(200, n_ops // 5)))
+
+    def tenancy_for(mode: str) -> "TenancyConfig":
+        if mode == "armed":
+            return TenancyConfig(tenants=(
+                TenantConfig("whale", rate=100.0, burst=50.0,
+                             cache_quota=0.2),
+                TenantConfig("minnow", cache_quota=0.5),
+            ))
+        return TenancyConfig(tenants=(TenantConfig("whale"),
+                                      TenantConfig("minnow")))
+
+    class SteppingClock:
+        """1 ms per reading: bucket refill depends only on call count,
+        which depends only on the request stream — backend-invariant."""
+
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            self.now += 0.001
+            return self.now
+
+    def shard_cycles(coordinator) -> float:
+        return sum(s.meter.cycles for s in coordinator.shard_list())
+
+    for backend in ("inline", "process", "socket"):
+        for mode in ("unarmed", "armed"):
+            config = ClusterConfig(
+                n_shards=n_shards, n_keys=n_keys, scale=scale,
+                batch_window=batch_window, backend=backend,
+                tenancy=tenancy_for(mode))
+            coordinator = config.build(clock=SteppingClock())
+            try:
+                coordinator.load(whale_load.load_items(), tenant="whale")
+                coordinator.load(minnow_load.load_items(), tenant="minnow")
+                digest = hashlib.sha256()
+                whale_shed = typed_shed = 0
+
+                def drive(requests, tenant):
+                    shed = typed = 0
+                    before = shard_cycles(coordinator)
+                    for start in range(0, len(requests), 64):
+                        responses = coordinator.execute(
+                            requests[start:start + 64], tenant=tenant)
+                        digest.update(encode_batch_responses(responses))
+                        for r in responses:
+                            if r.status != Status.OVERLOADED:
+                                continue
+                            shed += 1
+                            # The hint is the whale's own bucket price
+                            # (>= 0; exactly 0 only when the stepping
+                            # clock's own reading refilled the token).
+                            retry_after_hint(r)
+                            if overload_reason(r).startswith(
+                                    b"tenant rate limit: whale"):
+                                typed += 1
+                    return shard_cycles(coordinator) - before, shed, typed
+
+                solo_cycles, _, _ = drive(minnow_window, "minnow")
+                _, whale_shed, typed_shed = drive(whale_requests, "whale")
+                contended_cycles, _, _ = drive(minnow_window, "minnow")
+
+                solo_cpo = solo_cycles / len(minnow_window)
+                contended_cpo = contended_cycles / len(minnow_window)
+                health = json.loads(
+                    coordinator.health_response().value)["tenancy"]
+                denied = sum(
+                    health.get("cache_evict_denials", {}).values())
+                result.add_row(
+                    backend=backend, mode=mode,
+                    minnow_solo_cpo=round(solo_cpo, 1),
+                    minnow_contended_cpo=round(contended_cpo, 1),
+                    fairness=round(solo_cpo / contended_cpo, 4),
+                    whale_shed=whale_shed,
+                    typed_shed=typed_shed,
+                    evict_denied=denied,
+                    responses_sha256=digest.hexdigest()[:16],
+                )
+            finally:
+                coordinator.close()
+    result.note(f"scale 1/{scale}: {n_keys} whale + {minnow_keys} minnow "
+                f"keys, {n_shards} shards, batch window {batch_window}; "
+                "armed = whale bucket 100 req/s (stepping clock) + cache "
+                "quotas 0.2/0.5; fairness = minnow solo cpo / contended "
+                "cpo; every tenancy decision is parent-side, so simulated "
+                "columns are asserted backend-invariant")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table1": table1_comparison,
     "fig2": fig2_motivation,
@@ -1641,4 +1787,5 @@ ALL_EXPERIMENTS = {
     "cluster_socket_backend": cluster_socket_backend,
     "cluster_durability": cluster_durability,
     "cluster_overload": cluster_overload,
+    "cluster_tenancy": cluster_tenancy,
 }

@@ -175,6 +175,78 @@ class ClockPolicy(EvictionPolicy):
         return len(self._referenced)
 
 
+class TenantPartition:
+    """Per-tenant occupancy bookkeeping for a partitioned Secure Cache.
+
+    The multi-tenant front door (ARCHITECTURE §16) turns cache occupancy
+    into a per-principal resource: each tenant with a quota is guaranteed
+    ``max(1, int(max_entries * fraction))`` entries that *other* tenants'
+    misses cannot evict.  The mechanism is deliberately thin — the
+    partition does not choose victims, it computes the set of **protected
+    keys** that gets unioned into the eviction policy's ``locked`` set, so
+    every policy (FIFO/LRU/CLOCK) honors quotas without knowing they
+    exist.
+
+    Ownership is attributed per insert: the entry belongs to whichever
+    tenant's operation caused it to be cached (``current_owner``, set by
+    the store before each op).  Anonymous inserts (owner ``None``) are
+    never protected.  A tenant *over* its quota is fair game for everyone
+    — the guarantee is a floor, not a fence, so idle capacity still flows
+    to whoever is hot.
+    """
+
+    def __init__(self, quotas: dict, max_entries: int):
+        self._quota_entries = {
+            owner: max(1, int(max_entries * fraction))
+            for owner, fraction in quotas.items()
+        }
+        self._owner_of: dict = {}
+        self._owner_keys: dict = {}
+        self.current_owner: "str | None" = None
+
+    def quota_entries(self, owner: str) -> Optional[int]:
+        return self._quota_entries.get(owner)
+
+    @property
+    def quotas(self) -> dict:
+        """Owner token -> guaranteed entry count (a copy)."""
+        return dict(self._quota_entries)
+
+    def on_insert(self, key: Key) -> None:
+        owner = self.current_owner
+        if owner is None:
+            return
+        self._owner_of[key] = owner
+        self._owner_keys.setdefault(owner, set()).add(key)
+
+    def on_remove(self, key: Key) -> None:
+        owner = self._owner_of.pop(key, None)
+        if owner is not None:
+            self._owner_keys[owner].discard(key)
+
+    def occupancy(self) -> dict:
+        """Live entry count per owner token (empty owners omitted)."""
+        return {owner: len(keys)
+                for owner, keys in self._owner_keys.items() if keys}
+
+    def protected_keys(self) -> set:
+        """Keys the *current* owner's eviction pressure must not touch.
+
+        A tenant's entries are protected while it holds no more than its
+        quota; its own evictions are never blocked by its own quota (a
+        tenant may always churn its own slice).
+        """
+        current = self.current_owner
+        protected: set = set()
+        for owner, quota in self._quota_entries.items():
+            if owner == current:
+                continue
+            keys = self._owner_keys.get(owner)
+            if keys and len(keys) <= quota:
+                protected |= keys
+        return protected
+
+
 _POLICIES = {"fifo": FifoPolicy, "lru": LruPolicy, "clock": ClockPolicy}
 
 

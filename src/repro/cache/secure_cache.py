@@ -39,7 +39,7 @@ from typing import Optional
 from repro.errors import ConfigurationError, ReplayError
 from repro.merkle.layout import COUNTER_SIZE, MAC_SIZE
 from repro.merkle.tree import MerkleTree
-from repro.cache.policies import EvictionPolicy, make_policy
+from repro.cache.policies import EvictionPolicy, TenantPartition, make_policy
 from repro.cache.stats import CacheStats
 from repro.sgx.enclave import Enclave
 
@@ -78,6 +78,7 @@ class SecureCache:
         stop_swap_patience: int = 1,
         swap_encrypt: bool = False,
         writeback_clean: bool = False,
+        tenant_quotas: Optional[dict] = None,
     ):
         self._enclave = enclave
         self._tree = tree
@@ -95,6 +96,12 @@ class SecureCache:
         self._stop_swap_enabled = stop_swap_enabled
         self._swap_encrypt = swap_encrypt
         self._writeback_clean = writeback_clean
+        # Multi-tenant partitioning (ARCHITECTURE §16): armed only when the
+        # config carries quotas, so single-tenant stores pay nothing — not
+        # even a branch on the insert fast path beyond one None check.
+        self._partition = (TenantPartition(tenant_quotas, self.max_entries)
+                           if tenant_quotas else None)
+        self.tenant_denials = 0
         self.swapping = self.max_entries > 0
 
         enclave.epc.reserve(self.EPC_CACHE, capacity_bytes)
@@ -116,6 +123,16 @@ class SecureCache:
 
     def is_cached(self, level: int, index: int) -> bool:
         return (level, index) in self._entries
+
+    def set_owner(self, owner: Optional[str]) -> None:
+        """Attribute subsequent inserts/evictions to a tenant owner token.
+
+        No-op unless the cache was built with ``tenant_quotas`` — the
+        store calls this before every op, so the unarmed path must stay
+        free.
+        """
+        if self._partition is not None:
+            self._partition.current_owner = owner
 
     # -- pinning ----------------------------------------------------------------
 
@@ -209,16 +226,44 @@ class SecureCache:
         entry = CacheEntry(data=data, dirty=dirty)
         self._entries[key] = entry
         self._policy.on_insert(key)
+        if self._partition is not None:
+            self._partition.on_insert(key)
         self._enclave.epc_touch(self._tree.layout.node_size)
         return entry
 
-    def _evict_one(self, locked: frozenset) -> bool:
-        """Evict one victim; returns False if everything is locked."""
-        victim = self._policy.victim(locked)
+    def _evict_one(self, locked: frozenset, *, partition: bool = True) -> bool:
+        """Evict one victim; returns False if everything is locked.
+
+        With tenancy armed, other tenants' within-quota entries join the
+        locked set (see :class:`~repro.cache.policies.TenantPartition`);
+        an eviction that fails *because of that protection* is counted as
+        a denial — the caller falls back to the untrusted write-through
+        path, so the over-quota tenant pays the slowdown, not the victim.
+        ``partition=False`` bypasses protection for whole-cache flushes
+        (stop-swap), which are not cross-tenant pressure.
+        """
+        if partition and self._partition is not None:
+            protected = self._partition.protected_keys()
+            if protected:
+                victim = self._policy.victim(locked | protected)
+                if victim is None:
+                    self.tenant_denials += 1
+                    self._enclave.meter.count("tenant_evict_denied")
+                    owner = self._partition.current_owner
+                    if owner is not None:
+                        self._enclave.meter.count(
+                            f"tenant_evict_denied:{owner}")
+                    return False
+            else:
+                victim = self._policy.victim(locked)
+        else:
+            victim = self._policy.victim(locked)
         if victim is None:
             return False
         entry = self._entries.pop(victim)
         self._policy.on_remove(victim)
+        if self._partition is not None:
+            self._partition.on_remove(victim)
         self.stats.evictions += 1
         self._enclave.meter.count("cache_evict")
         level, index = victim
@@ -421,6 +466,8 @@ class SecureCache:
         for key in [k for k in self._entries if k[0] > 0]:
             self._entries.pop(key)
             self._policy.on_remove(key)
+            if self._partition is not None:
+                self._partition.on_remove(key)
 
     def verify_leaf(self, leaf_index: int) -> None:
         """Audit helper: check one leaf node's integrity without caching it.
@@ -447,7 +494,10 @@ class SecureCache:
         if not self.swapping:
             return
         while self._entries:
-            if not self._evict_one(frozenset()):
+            # A stop-swap flush empties the whole cache; tenant protection
+            # does not apply (this is repurposing, not cross-tenant
+            # pressure).
+            if not self._evict_one(frozenset(), partition=False):
                 break
         self.swapping = False
         # Pin as many additional upper levels as the freed space allows.
@@ -473,6 +523,20 @@ class SecureCache:
         self._enclave.meter.count("stop_swap")
 
     # -- reporting -------------------------------------------------------------------
+
+    def tenant_stats(self) -> Optional[dict]:
+        """Partition counters, or ``None`` when tenancy is unarmed.
+
+        Returning ``None`` (rather than an all-zeros row) keeps unarmed
+        stores' reports byte-identical to pre-tenancy behaviour.
+        """
+        if self._partition is None:
+            return None
+        return {
+            "denials": self.tenant_denials,
+            "occupancy": self._partition.occupancy(),
+            "quota_entries": self._partition.quotas,
+        }
 
     def epc_bytes_in_use(self) -> int:
         """Bytes of EPC this cache and its pinned levels occupy."""

@@ -178,16 +178,38 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenants(spec: str, require_auth: bool):
+    """``--tenants`` parser: ``id[:rate[:burst[:cache_quota]]]``, commas.
+
+    Example: ``--tenants acme:200:50:0.4,blue,carol::0.2`` — acme is
+    rate-limited to 200 req/s (burst 50) with 40 % of each Secure Cache
+    guaranteed; blue has no limits; carol gets a 20 % cache quota only.
+    """
+    from repro.cluster import TenancyConfig, TenantConfig
+
+    tenants = []
+    for entry in spec.split(","):
+        parts = entry.strip().split(":")
+        if not parts[0]:
+            raise ValueError(f"empty tenant id in {entry!r}")
+        rate = float(parts[1]) if len(parts) > 1 and parts[1] else None
+        burst = float(parts[2]) if len(parts) > 2 and parts[2] else rate
+        quota = float(parts[3]) if len(parts) > 3 and parts[3] else None
+        tenants.append(TenantConfig(parts[0], rate=rate,
+                                    burst=burst if rate is not None else None,
+                                    cache_quota=quota))
+    return TenancyConfig(tenants=tuple(tenants), require_auth=require_auth)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
-    import os
 
     from repro.cluster import (
+        ClusterConfig,
         ClusterNetServer,
-        HealthMonitor,
+        DurabilityConfig,
         HotShardBalancer,
-        build_cluster,
-        build_replicated_cluster,
+        SessionManager,
     )
 
     if args.shards < 1:
@@ -225,68 +247,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import (
         ClusterConnectionError,
         ClusterTimeoutError,
+        ConfigurationError,
+        DurabilityError,
         HandshakeError,
     )
 
+    tenancy = None
+    if args.tenants:
+        try:
+            tenancy = _parse_tenants(args.tenants, args.require_tenant_auth)
+        except (ConfigurationError, ValueError) as exc:
+            print(f"bad --tenants spec: {exc}", file=sys.stderr)
+            return 2
+    durability = None
+    if args.durable:
+        durability = DurabilityConfig(data_dir=args.data_dir,
+                                      epoch_every=args.epoch_every)
+    config = ClusterConfig.from_env(
+        n_shards=args.shards,
+        n_keys=args.keys,
+        scale=args.scale,
+        index=args.index,
+        vnodes=args.vnodes,
+        batch_window=args.batch_window,
+        seed=args.seed,
+        backend=backend,
+        workers=args.shard_workers,
+        replication=args.replication,
+        durability=durability,
+        tenancy=tenancy,
+    )
     try:
-        if args.durable or args.replication > 1:
-            coordinator = build_replicated_cluster(
-                args.shards,
-                replication=args.replication,
-                n_keys=args.keys,
-                scale=args.scale,
-                index=args.index,
-                vnodes=args.vnodes,
-                batch_window=args.batch_window,
-                seed=args.seed,
-                backend=backend,
-                workers=args.shard_workers,
-            )
-        else:
-            coordinator = build_cluster(
-                args.shards,
-                n_keys=args.keys,
-                scale=args.scale,
-                index=args.index,
-                vnodes=args.vnodes,
-                batch_window=args.batch_window,
-                seed=args.seed,
-                backend=backend,
-                workers=args.shard_workers,
-            )
+        coordinator = config.build()
     except (HandshakeError, ClusterConnectionError,
-            ClusterTimeoutError) as exc:
-        # A shard host that is down, mis-attested, or downgraded is a
-        # refusal to serve, not a crash: surface it and stop.
+            ClusterTimeoutError, DurabilityError) as exc:
+        # A shard host that is down/mis-attested, or a rollback detection
+        # on startup, is a refusal to serve — not a crash: surface it.
         print(f"refusing to serve: {type(exc).__name__}: {exc}",
               file=sys.stderr)
         return 3
-    restored = {}
-    if args.durable:
-        from repro.errors import DurabilityError
-        from repro.persist import (
-            FileDisk,
-            attach_cluster_durability,
-            restore_cluster_from_storage,
-        )
-        from repro.sgx.monotonic import MonotonicCounterService
-
-        disk = FileDisk(args.data_dir)
-        counters = MonotonicCounterService(
-            path=os.path.join(args.data_dir, "counters.json"))
-        attach_cluster_durability(coordinator, disk, counters,
-                                  seed=args.seed,
-                                  epoch_every=args.epoch_every)
-        try:
-            restored = restore_cluster_from_storage(coordinator)
-        except DurabilityError as exc:
-            # A rollback/tamper detection on startup is a refusal to serve
-            # stale data, not a crash: surface it and stop.
-            print(f"refusing to serve: {type(exc).__name__}: {exc}",
-                  file=sys.stderr)
-            coordinator.close()
-            return 3
-        coordinator.attach_health_monitor(HealthMonitor(coordinator))
+    restored = getattr(coordinator, "durability_restored", {})
     if args.balance:
         coordinator.attach_balancer(HotShardBalancer(coordinator))
     overloaded_door = (args.max_inflight is not None
@@ -305,9 +305,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         security = "required"
     else:
         security = "optional"
+    sessions = None
+    if tenancy is not None and security != "plaintext":
+        # The gateway authenticates tenant claims against the roster.
+        sessions = SessionManager(registry=coordinator.tenancy.registry,
+                                  require_tenant=tenancy.require_auth)
     server = ClusterNetServer(coordinator, host=args.host, port=args.port,
                               max_requests=args.max_requests,
                               security=security,
+                              sessions=sessions,
                               max_inflight=args.max_inflight,
                               max_connections=args.max_connections)
 
@@ -337,6 +343,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   ", per-shard breakers armed")
         if server.sessions is not None:
             print(f"  gateway measurement {server.sessions.measurement.hex()}")
+        if tenancy is not None:
+            roster = ", ".join(t.tenant_id for t in tenancy.tenants)
+            print(f"  tenants: {roster} (auth "
+                  f"{'required' if tenancy.require_auth else 'optional'})")
         for shard in coordinator.shard_list():
             line = f"  {shard.shard_id}: EPC {shard.epc_bytes:,} B"
             replicas = getattr(shard, "replicas", None)
@@ -498,6 +508,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--require-encryption", action="store_true",
                        help="v2 sessions only: reject plaintext frames "
                             "(default policy accepts both)")
+    serve.add_argument("--tenants", default=None,
+                       help="arm the multi-tenant front door: comma-"
+                            "separated id[:rate[:burst[:cache_quota]]] "
+                            "specs — per-tenant token-bucket admission, "
+                            "disjoint key namespaces, and Secure-Cache "
+                            "occupancy quotas (e.g. "
+                            "'acme:200:50:0.4,blue')")
+    serve.add_argument("--require-tenant-auth", action="store_true",
+                       help="with --tenants: refuse v2 handshakes that "
+                            "carry no authenticated tenant block")
     serve.set_defaults(func=_cmd_serve)
 
     shard_host = sub.add_parser(

@@ -36,7 +36,13 @@ front door:
   trusted-path re-sync;
 * :mod:`~repro.cluster.overload` — admission control and graceful
   degradation: deadline budgets, token buckets, retry budgets, and
-  per-shard circuit breakers (see ARCHITECTURE §14).
+  per-shard circuit breakers (see ARCHITECTURE §14);
+* :mod:`~repro.cluster.tenancy` — the multi-tenant front door: tenant
+  identity bound into the attested handshake, per-principal admission,
+  disjoint key namespaces, and Secure-Cache quotas (ARCHITECTURE §16);
+* :mod:`~repro.cluster.config` — :class:`ClusterConfig`, the typed
+  single construction surface over all of the above (plus
+  :func:`serve`), replacing the deprecated factory kwarg sprawl.
 """
 
 from repro.cluster.backend import (
@@ -48,10 +54,22 @@ from repro.cluster.backend import (
     set_default_backend,
 )
 from repro.cluster.balancer import HotShardBalancer, MigrationReport
+from repro.cluster.config import (
+    ClusterConfig,
+    DurabilityConfig,
+    serve,
+)
 from repro.cluster.coordinator import (
     ClusterCoordinator,
     DEFAULT_BATCH_WINDOW,
     build_cluster,
+)
+from repro.cluster.tenancy import (
+    TenancyConfig,
+    TenantConfig,
+    TenantRegistry,
+    default_tenant_secret,
+    tenant_credential,
 )
 from repro.cluster.faults import (
     CAPTURE,
@@ -149,9 +167,14 @@ __all__ = [
     "CircuitBreaker",
     "ClientHandshake",
     "ClusterClient",
+    "ClusterConfig",
     "ClusterCoordinator",
     "ClusterNetServer",
     "ClusterStats",
+    "DurabilityConfig",
+    "TenancyConfig",
+    "TenantConfig",
+    "TenantRegistry",
     "DEFAULT_BATCH_WINDOW",
     "DEFAULT_CHECK_EVERY",
     "DEFAULT_CLIENT_TIMEOUT",
@@ -207,7 +230,10 @@ __all__ = [
     "build_replicated_cluster",
     "build_shards",
     "default_backend_name",
+    "default_tenant_secret",
     "dur_target",
+    "serve",
+    "tenant_credential",
     "make_quote",
     "measurement",
     "reap_leaked_hosts",

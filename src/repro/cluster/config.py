@@ -1,0 +1,346 @@
+"""Typed cluster construction: one config object instead of kwarg sprawl.
+
+The cluster grew factory by factory — ``build_cluster(n_shards, ...)``,
+``build_replicated_cluster(..., replication=...)``, ``enable_overload``,
+``attach_cluster_durability``, ``enable_tenancy`` — each with its own
+keyword surface, plus ``ARIA_CLUSTER_BACKEND``/``ARIA_SHARD_WORKERS``
+environment fallbacks sprinkled through the call sites.
+:class:`ClusterConfig` is the single construction surface over all of it
+(ARCHITECTURE §16):
+
+>>> config = ClusterConfig(n_shards=2, n_keys=5_000, scale=2048,
+...                        tenancy=TenancyConfig(tenants=(
+...                            TenantConfig("acme", rate=200.0, burst=50.0,
+...                                         cache_quota=0.4),
+...                            TenantConfig("blue"),
+...                        )))
+>>> coordinator = build_cluster(config)     # or config.build()
+
+Sub-systems nest as typed sub-configs, each ``None`` (disarmed) by
+default: :class:`~repro.cluster.overload.OverloadConfig` for admission/
+degradation, :class:`DurabilityConfig` for the sealed WAL sidecars, and
+:class:`~repro.cluster.tenancy.TenancyConfig` for the multi-tenant front
+door.  A config with every sub-config ``None`` builds a cluster
+bit-identical to the pre-config factories — the typed surface is
+packaging, never semantics.
+
+**Precedence** is explicit argument > config > environment: a value you
+pass always wins; a field left at its default defers to the config; the
+``ARIA_*`` environment variables are consulted only when the field is
+``None`` (the same fallback the untyped factories always had —
+:meth:`ClusterConfig.from_env` pins the environment's answer into the
+config at construction time so later ``os.environ`` churn cannot change
+what you build).
+
+The legacy keyword factories keep working through
+:meth:`ClusterConfig.from_kwargs`, with a :class:`DeprecationWarning`
+naming the replacement — see the migration guide in the README.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Optional
+
+from repro.bench.harness import PAPER_EPC_BYTES
+from repro.cluster.backend import BACKEND_ENV_VAR, BackendSpec
+from repro.cluster.overload import OverloadConfig
+from repro.cluster.ring import DEFAULT_VNODES, VnodeSpec
+from repro.cluster.shard import WORKERS_ENV_VAR
+from repro.cluster.tenancy import TenancyConfig
+from repro.errors import ConfigurationError
+
+#: build_cluster's historical defaults, preserved verbatim.
+DEFAULT_N_SHARDS = 4
+DEFAULT_N_KEYS = 20_000
+DEFAULT_EPOCH_EVERY = 32
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Sealed-WAL persistence for every partition (ARCHITECTURE §12).
+
+    Durability rides replica-group batch boundaries, so a config carrying
+    one requires ``replication >= 1`` groups (``ClusterConfig.build``
+    builds replica groups even at R=1, exactly like ``serve --durable``).
+    """
+
+    #: Directory for the sealed snapshot/log blobs and the monotonic
+    #: counter store.
+    data_dir: str
+    #: Group commits between monotonic-counter bindings (lower = smaller
+    #: offline-rollback window, higher amortized counter cost).
+    epoch_every: int = DEFAULT_EPOCH_EVERY
+    #: Restore partitions from existing on-disk state before serving.
+    restore: bool = True
+
+    def __post_init__(self):
+        if not self.data_dir:
+            raise ConfigurationError("durability needs a data_dir")
+        if self.epoch_every < 1:
+            raise ConfigurationError(
+                f"epoch_every must be >= 1, not {self.epoch_every}")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to build (and serve) one cluster, in one place."""
+
+    n_shards: int = DEFAULT_N_SHARDS
+    #: Cluster-wide keyspace the shards are provisioned for.
+    n_keys: int = DEFAULT_N_KEYS
+    cluster_epc_bytes: int = PAPER_EPC_BYTES
+    #: EPC scale divisor, as in the bench harness's ``scaled_platform``.
+    scale: int = 1
+    index: str = "hash"
+    vnodes: VnodeSpec = DEFAULT_VNODES
+    batch_window: int = 32  # coordinator.DEFAULT_BATCH_WINDOW
+    seed: int = 0
+    #: Shard hosting: "inline" / "process" / "socket", a ShardBackend, or
+    #: None to defer to ``ARIA_CLUSTER_BACKEND`` (then "inline").
+    backend: BackendSpec = None
+    #: Simulated enclave workers per shard; None defers to
+    #: ``ARIA_SHARD_WORKERS`` (then 1).
+    workers: Optional[int] = None
+    #: Replicas per partition; > 1 (or any durability) builds replica
+    #: groups via ``build_replicated_cluster``.
+    replication: int = 1
+    overload: Optional[OverloadConfig] = None
+    durability: Optional[DurabilityConfig] = None
+    tenancy: Optional[TenancyConfig] = None
+    #: Extra AriaConfig field overrides applied to every shard store
+    #: (``value_hint``, ``crypto_backend``, ...), exactly the ``**kwargs``
+    #: tail of the old factories.
+    shard_overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, not {self.n_shards}")
+        if self.n_keys < 1:
+            raise ConfigurationError(
+                f"n_keys must be >= 1, not {self.n_keys}")
+        if self.scale < 1:
+            raise ConfigurationError(
+                f"scale must be >= 1, not {self.scale}")
+        if self.batch_window < 1:
+            raise ConfigurationError(
+                f"batch_window must be >= 1, not {self.batch_window}")
+        if self.replication < 1:
+            raise ConfigurationError(
+                f"replication must be >= 1, not {self.replication}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, not {self.workers}")
+
+    # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ClusterConfig":
+        """A config with the ``ARIA_*`` environment resolved *now*.
+
+        Precedence: an explicit keyword here beats the environment, which
+        beats the field default — and the environment's answer is frozen
+        into the returned config, so later ``os.environ`` changes cannot
+        retroactively alter what gets built.
+        """
+        if overrides.get("backend") is None:
+            env_backend = os.environ.get(BACKEND_ENV_VAR)
+            if env_backend:
+                overrides["backend"] = env_backend
+        if overrides.get("workers") is None:
+            env_workers = os.environ.get(WORKERS_ENV_VAR)
+            if env_workers:
+                try:
+                    overrides["workers"] = int(env_workers)
+                except ValueError:
+                    pass  # malformed env is ignored, like resolve_workers
+        return cls(**overrides)
+
+    #: Legacy factory keywords that map onto ClusterConfig fields;
+    #: anything else in the kwarg tail is a shard override.
+    _FIELD_KWARGS = ("n_keys", "cluster_epc_bytes", "scale", "index",
+                     "vnodes", "batch_window", "seed", "backend", "workers",
+                     "replication")
+
+    @classmethod
+    def from_kwargs(cls, n_shards: int, *, _warn: bool = True,
+                    **kwargs) -> "ClusterConfig":
+        """Adapt the deprecated ``build_cluster(n, key=value, ...)`` sprawl.
+
+        Known factory keywords become config fields; the remainder is the
+        shard-override tail, exactly as the old ``**shard_overrides``
+        behaved.  Emits a :class:`DeprecationWarning` naming the typed
+        replacement (suppressed for internal adapter calls).
+        """
+        if _warn:
+            warnings.warn(
+                "keyword-sprawl cluster factories are deprecated; build a "
+                "repro.cluster.config.ClusterConfig and pass it to "
+                "build_cluster(config) / serve(config)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        fields = {name: kwargs.pop(name) for name in cls._FIELD_KWARGS
+                  if name in kwargs}
+        return cls(n_shards=n_shards, shard_overrides=kwargs, **fields)
+
+    def with_overrides(self, **changes) -> "ClusterConfig":
+        """A copy with fields replaced (frozen-dataclass convenience)."""
+        return replace(self, **changes)
+
+    # -- derived values -----------------------------------------------------------
+
+    def resolved_shard_overrides(self) -> dict:
+        """The shard-override tail with tenancy's cache quotas injected.
+
+        Secure Cache partitioning arms *inside* each shard's
+        :class:`~repro.core.config.AriaConfig` (``tenant_quotas``), so the
+        quotas must travel with the shard spec — remote backends rebuild
+        their stores from it, which is what keeps partitioning identical
+        across the inline/process/socket backends.  An explicit
+        ``tenant_quotas`` in ``shard_overrides`` wins (explicit > config).
+        """
+        overrides = dict(self.shard_overrides)
+        if self.tenancy is not None and "tenant_quotas" not in overrides:
+            quotas = self.tenancy.cache_quota_map()
+            if quotas:
+                overrides["tenant_quotas"] = quotas
+        return overrides
+
+    # -- the build path -----------------------------------------------------------
+
+    def build(self, *, clock: Callable[[], float] = time.monotonic):
+        """Build the coordinator this config describes, fully armed.
+
+        Plain shards by default; replica groups when ``replication > 1``
+        or ``durability`` is set (the sealed sidecar commits on the group
+        batch boundary).  ``overload``/``tenancy`` sub-configs arm the
+        matching coordinator layers; ``clock`` feeds both (injectable so
+        bucket/breaker decisions are deterministic in tests and in the T1
+        experiment's cross-backend cycle-identity check).
+        """
+        from repro.cluster.coordinator import build_cluster as _build
+        from repro.cluster.replication import build_replicated_cluster
+
+        overrides = self.resolved_shard_overrides()
+        common = dict(
+            n_keys=self.n_keys,
+            cluster_epc_bytes=self.cluster_epc_bytes,
+            scale=self.scale,
+            index=self.index,
+            vnodes=self.vnodes,
+            batch_window=self.batch_window,
+            seed=self.seed,
+            backend=self.backend,
+            workers=self.workers,
+        )
+        with warnings.catch_warnings():
+            # The typed door funnels through the legacy factory bodies;
+            # only direct keyword-spelling callers hear the deprecation.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            if self.replication > 1 or self.durability is not None:
+                coordinator = build_replicated_cluster(
+                    self.n_shards, replication=self.replication,
+                    **common, **overrides)
+            else:
+                coordinator = _build(self.n_shards, **common, **overrides)
+        try:
+            if self.overload is not None:
+                coordinator.enable_overload(self.overload, clock=clock)
+            if self.tenancy is not None:
+                coordinator.enable_tenancy(self.tenancy, clock=clock)
+            if self.durability is not None:
+                self._attach_durability(coordinator)
+        except BaseException:
+            # Arming failed (e.g. rollback detected on restore): release
+            # whatever the backend spawned before surfacing the refusal.
+            coordinator.close()
+            raise
+        return coordinator
+
+    def _attach_durability(self, coordinator) -> None:
+        from repro.cluster.health import HealthMonitor
+        from repro.persist import (
+            FileDisk,
+            attach_cluster_durability,
+            restore_cluster_from_storage,
+        )
+        from repro.sgx.monotonic import MonotonicCounterService
+
+        dur = self.durability
+        disk = FileDisk(dur.data_dir)
+        counters = MonotonicCounterService(
+            path=os.path.join(dur.data_dir, "counters.json"))
+        attach_cluster_durability(coordinator, disk, counters,
+                                  seed=self.seed,
+                                  epoch_every=dur.epoch_every)
+        restored = {}
+        if dur.restore:
+            restored = restore_cluster_from_storage(coordinator)
+        #: What recovery replayed, for operators (the CLI prints it).
+        coordinator.durability_restored = restored
+        coordinator.attach_health_monitor(HealthMonitor(coordinator))
+
+
+def build_cluster(config: ClusterConfig, *,
+                  clock: Callable[[], float] = time.monotonic):
+    """Build a coordinator from a :class:`ClusterConfig` (the typed door).
+
+    :func:`repro.cluster.coordinator.build_cluster` accepts the same
+    config as its first argument and lands here; this module-level spelling
+    exists so new code never has to touch the legacy keyword surface.
+    """
+    return config.build(clock=clock)
+
+
+def serve(
+    config: ClusterConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    security: str = "optional",
+    max_requests: Optional[int] = None,
+    max_inflight: Optional[int] = None,
+    max_connections: Optional[int] = None,
+    clock: Callable[[], float] = time.monotonic,
+):
+    """Build the cluster *and* its front door; returns a started
+    :class:`~repro.cluster.netserver.BackgroundServer`.
+
+    With ``config.tenancy`` armed, the front door's gateway
+    :class:`~repro.cluster.session.SessionManager` is constructed around
+    the tenancy roster, so v2 handshakes authenticate tenant claims
+    (``require_auth`` in the tenancy config makes a tenant block
+    mandatory).  The caller owns shutdown: ``server.close()`` stops the
+    door and releases the shard backends.
+    """
+    from repro.cluster.netserver import BackgroundServer
+    from repro.cluster.session import SessionManager
+
+    coordinator = config.build(clock=clock)
+    sessions = None
+    if config.tenancy is not None and security != "plaintext":
+        sessions = SessionManager(
+            registry=coordinator.tenancy.registry,
+            require_tenant=config.tenancy.require_auth,
+        )
+    server = BackgroundServer(
+        coordinator,
+        host=host,
+        port=port,
+        max_requests=max_requests,
+        security=security,
+        sessions=sessions,
+        max_inflight=max_inflight,
+        max_connections=max_connections,
+    )
+    try:
+        server.start()
+    except BaseException:
+        coordinator.close()
+        raise
+    return server

@@ -24,7 +24,13 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.bench.harness import PAPER_EPC_BYTES
 from repro.cluster.backend import BackendSpec
-from repro.cluster.overload import CircuitBreaker, Deadline, OverloadConfig
+from repro.cluster.overload import (
+    CircuitBreaker,
+    Deadline,
+    OverloadConfig,
+    TokenBucket,
+)
+from repro.cluster.tenancy import TenancyConfig, TenantRegistry
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, VnodeSpec
 from repro.cluster.shard import Shard, build_shards
 from repro.cluster.stats import ClusterStats
@@ -144,6 +150,75 @@ class _OverloadState:
         }
 
 
+class _TenancyState:
+    """The coordinator's tenancy machinery: per-tenant buckets + namespaces.
+
+    Created by :meth:`ClusterCoordinator.enable_tenancy`.  Like
+    :class:`_OverloadState`, every decision here is untrusted parent-side
+    work that never charges a shard meter, so an armed-but-idle tenancy
+    layer (no tenant traffic) stays bit-identical to an unarmed cluster on
+    every simulated column.  The injectable ``clock`` feeds every
+    per-tenant :class:`~repro.cluster.overload.TokenBucket`, which is what
+    keeps bucket sheds deterministic across the inline/process/socket
+    backends in the T1 experiment.
+    """
+
+    def __init__(self, config: TenancyConfig,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config
+        self.clock = clock
+        self.registry = TenantRegistry(config.tenants)
+        self.buckets: Dict[str, TokenBucket] = {}
+        self.prefixes: Dict[str, bytes] = {}
+        for tenant in config.tenants:
+            self.prefixes[tenant.tenant_id] = tenant.prefix
+            if tenant.rate is not None:
+                self.buckets[tenant.tenant_id] = TokenBucket(
+                    tenant.rate, tenant.burst, clock)
+        self.admitted: Dict[str, int] = {t.tenant_id: 0
+                                         for t in config.tenants}
+        self.shed: Dict[str, int] = {t.tenant_id: 0 for t in config.tenants}
+        self.unknown_shed = 0
+
+    def try_admit(self, tenant: str) -> Optional[Response]:
+        """One request's admission verdict: ``None`` or a shed response.
+
+        The shed's ``retry_after`` is *this tenant's* bucket refill time
+        (``bucket.time_until(1.0)``), never a global gate's countdown — a
+        whale's backoff hint must price the whale's own deficit.
+        """
+        if tenant not in self.prefixes:
+            self.unknown_shed += 1
+            return protocol.overloaded(0.0, b"unknown tenant")
+        bucket = self.buckets.get(tenant)
+        if bucket is not None and not bucket.try_acquire(1.0):
+            self.shed[tenant] += 1
+            return protocol.overloaded(
+                bucket.time_until(1.0),
+                b"tenant rate limit: " + tenant.encode())
+        self.admitted[tenant] += 1
+        return None
+
+    def prefix_request(self, tenant: str, request: Request) -> Request:
+        """Relocate a request into its tenant's key namespace."""
+        return Request(request.opcode,
+                       self.prefixes[tenant] + request.key,
+                       request.value)
+
+    def retry_after(self, tenant: str) -> float:
+        """The tenant-correct backoff hint (0.0 for unlimited tenants)."""
+        bucket = self.buckets.get(tenant)
+        return bucket.time_until(1.0) if bucket is not None else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "tenants": sorted(self.prefixes),
+            "admitted": {t: n for t, n in sorted(self.admitted.items())},
+            "shed": {t: n for t, n in sorted(self.shed.items())},
+            "unknown_shed": self.unknown_shed,
+        }
+
+
 class ClusterCoordinator:
     """The sharded serving layer's routing + batching brain."""
 
@@ -178,6 +253,9 @@ class ClusterCoordinator:
         #: Overload layer (breakers, deadline shedding, brownout); None
         #: until :meth:`enable_overload`.
         self._overload: Optional[_OverloadState] = None
+        #: Tenancy layer (per-tenant buckets + key namespaces); None until
+        #: :meth:`enable_tenancy`.
+        self._tenancy: Optional[_TenancyState] = None
 
     # -- wiring -------------------------------------------------------------------
 
@@ -198,6 +276,28 @@ class ClusterCoordinator:
     def overload(self) -> Optional[_OverloadState]:
         return self._overload
 
+    def enable_tenancy(self, config: TenancyConfig,
+                       *, clock: Callable[[], float] = time.monotonic,
+                       ) -> "_TenancyState":
+        """Arm the tenancy layer: per-tenant admission and key namespaces.
+
+        Like :meth:`enable_overload`, re-arming replaces the state
+        wholesale and ``clock`` is injectable — deterministic bucket tests
+        and the T1 experiment feed a counting clock so sheds land on the
+        same requests across the inline/process/socket backends.
+
+        Shard-side cache partitioning is *not* armed here: quotas travel
+        in the shards' :class:`~repro.core.config.AriaConfig`
+        (``tenant_quotas``, see ``ClusterConfig.build``), because remote
+        backends rebuild their stores from the spawn spec.
+        """
+        self._tenancy = _TenancyState(config, clock)
+        return self._tenancy
+
+    @property
+    def tenancy(self) -> Optional[_TenancyState]:
+        return self._tenancy
+
     def attach_balancer(self, balancer) -> None:
         """Give the balancer a look after every executed batch."""
         self._balancer = balancer
@@ -215,7 +315,8 @@ class ClusterCoordinator:
     # -- the batched request path -------------------------------------------------
 
     def execute(self, requests: Iterable[Request],
-                *, deadline: Optional[Deadline] = None) -> List[Response]:
+                *, deadline: Optional[Deadline] = None,
+                tenant: Optional[str] = None) -> List[Response]:
         """Route, batch, flush; returns responses positionally.
 
         Buffers per shard and flushes a shard the moment its buffer fills,
@@ -233,12 +334,22 @@ class ClusterCoordinator:
         collects are bounded by the remaining budget plus one RPC grace.
         Brownout (health monitor mid-recovery) sheds writes up front, and
         each shard's circuit breaker gates its dispatches.
+
+        With the tenancy layer armed (:meth:`enable_tenancy`) and a
+        ``tenant`` presented, each request first passes that tenant's own
+        token bucket — sheds are typed ``Status.OVERLOADED`` with the
+        *tenant's* bucket refill time as the hint, charged to the
+        offending principal — and admitted requests are relocated into the
+        tenant's key namespace before the ring routes them.  Anonymous
+        requests (``tenant=None``) bypass both, byte-identically to a
+        pre-tenancy cluster.
         """
         requests = list(requests)
         responses: List[Optional[Response]] = [None] * len(requests)
         pending: Dict[str, List[int]] = {sid: [] for sid in self.shards}
         inflight: List[_Flight] = []
         over = self._overload
+        ten = self._tenancy if tenant is not None else None
         brownout = False
         if over is not None and self._health_monitor is not None:
             brownout = over.update_brownout(self._health_monitor.recovering())
@@ -247,6 +358,13 @@ class ClusterCoordinator:
                 # Answered at the front door, never routed to an enclave.
                 responses[seq] = self.health_response()
                 continue
+            if ten is not None:
+                shed = ten.try_admit(tenant)
+                if shed is not None:
+                    responses[seq] = shed
+                    continue
+                request = ten.prefix_request(tenant, request)
+                requests[seq] = request  # dispatch batches read requests[s]
             if brownout and request.opcode != OpCode.GET:
                 over.brownout_shed += 1
                 responses[seq] = over.shed_response(
@@ -473,6 +591,12 @@ class ClusterCoordinator:
             summary["batchexec"] = batchexec
         if self._overload is not None:
             summary["overload"] = self._overload.stats()
+        if self._tenancy is not None:
+            tenancy = self._tenancy.stats()
+            denials = self._tenancy_health()
+            if denials:
+                tenancy["cache_evict_denials"] = denials
+            summary["tenancy"] = tenancy
         return Response(Status.OK,
                         json.dumps(summary, sort_keys=True).encode())
 
@@ -503,10 +627,47 @@ class ClusterCoordinator:
             }
         return counters
 
+    def _tenancy_health(self) -> Dict[str, int]:
+        """Per-tenant Secure Cache eviction-denial counters for OP_HEALTH.
+
+        Read off the shard meters' ``tenant_evict_denied[:token]`` events,
+        which piggyback on every RPC reply as absolute snapshots (the same
+        free ride :meth:`_batchexec_health` uses — no extra per-shard
+        stats RPC).  Owner tokens map back to tenant ids through the
+        registry; an unknown token (a tenant since removed from the
+        roster) reports under its raw token.
+        """
+        ten = self._tenancy
+        counters: Dict[str, int] = {}
+        prefix = "tenant_evict_denied:"
+        for shard in self.shard_list():
+            try:
+                events = shard.meter.events
+            except AriaError:
+                continue
+            for name, count in list(events.items()):
+                if not name.startswith(prefix) or not count:
+                    continue
+                token = name[len(prefix):]
+                label = ten.registry.tenant_for_token(token) or token
+                counters[label] = counters.get(label, 0) + count
+        return counters
+
     # -- bulk load (unmetered, mirrors AriaStore.load) ----------------------------
 
-    def load(self, pairs: Iterable[tuple]) -> None:
-        """Partition a dataset by the ring and bulk-load each shard."""
+    def load(self, pairs: Iterable[tuple],
+             *, tenant: Optional[str] = None) -> None:
+        """Partition a dataset by the ring and bulk-load each shard.
+
+        With ``tenant`` (and tenancy armed), keys are relocated into the
+        tenant's namespace first — the load-phase mirror of
+        :meth:`execute`'s prefixing, so loaded and served keys agree.
+        """
+        if tenant is not None:
+            if self._tenancy is None or tenant not in self._tenancy.prefixes:
+                raise AriaError(f"unknown tenant {tenant!r} for load")
+            prefix = self._tenancy.prefixes[tenant]
+            pairs = ((prefix + key, value) for key, value in pairs)
         per_shard: Dict[str, list] = {sid: [] for sid in self.shards}
         for key, value in pairs:
             per_shard[self.ring.route(key)].append((key, value))
@@ -523,7 +684,10 @@ class ClusterCoordinator:
         """A fresh delta window over every shard (see ClusterStats)."""
         overload = self._overload.stats if self._overload is not None \
             else None
-        return ClusterStats(self.shard_list(), overload=overload)
+        tenancy = self._tenancy.stats if self._tenancy is not None \
+            else None
+        return ClusterStats(self.shard_list(), overload=overload,
+                            tenancy=tenancy)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -544,9 +708,9 @@ class ClusterCoordinator:
 
 
 def build_cluster(
-    n_shards: int,
+    n_shards,
     *,
-    n_keys: int,
+    n_keys: Optional[int] = None,
     cluster_epc_bytes: int = PAPER_EPC_BYTES,
     scale: int = 1,
     index: str = "hash",
@@ -559,6 +723,17 @@ def build_cluster(
 ) -> ClusterCoordinator:
     """One-call cluster: N shards splitting one EPC budget, plus a ring.
 
+    The supported calling convention is the typed one — pass a
+    :class:`~repro.cluster.config.ClusterConfig` as the only argument and
+    every nested sub-system (overload, durability, tenancy) is armed from
+    it::
+
+        build_cluster(ClusterConfig(n_shards=4, n_keys=10_000, scale=512))
+
+    The historical keyword spelling ``build_cluster(4, n_keys=..., ...)``
+    keeps working, with a :class:`DeprecationWarning` naming the
+    replacement (see the README migration guide).
+
     ``scale`` divides the EPC budget like the bench harness's
     ``scaled_platform`` (the keyspace is the caller's to scale), so
     ``build_cluster(4, n_keys=10_000, scale=1024)`` is the Fig 16a
@@ -569,6 +744,32 @@ def build_cluster(
     down whatever the backend spawned (workers, shard hosts).
     """
     from repro.cluster.backend import resolve_backend
+
+    if not isinstance(n_shards, int):
+        # The typed door: a ClusterConfig carries everything, so mixing
+        # it with keyword overrides would reintroduce the ambiguity the
+        # config exists to remove.
+        from repro.cluster.config import ClusterConfig
+
+        if not isinstance(n_shards, ClusterConfig):
+            raise TypeError(
+                "build_cluster takes a ClusterConfig or a shard count, "
+                f"not {type(n_shards).__name__}")
+        if n_keys is not None or shard_overrides:
+            raise ValueError(
+                "pass construction options inside the ClusterConfig, not "
+                "as build_cluster keywords")
+        return n_shards.build()
+    if n_keys is None:
+        raise TypeError("the keyword factory requires n_keys")
+    import warnings as _warnings
+
+    _warnings.warn(
+        "build_cluster(n_shards, ...) keyword sprawl is deprecated; "
+        "pass a repro.cluster.config.ClusterConfig instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     factory = resolve_backend(backend)
     shards = build_shards(

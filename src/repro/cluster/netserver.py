@@ -268,6 +268,9 @@ class ClusterNetServer:
         # Policy refusals.
         self.hellos_refused = 0
         self.plaintext_rejections = 0
+        # Sealed frames whose tenant envelope named a principal the
+        # handshake did not authenticate (confused-deputy attempts).
+        self.tenant_rejections = 0
         # What the fault plan staged (outbound attacks actually played).
         self.tamper_injections = 0
         self.replay_injections = 0
@@ -403,6 +406,12 @@ class ClusterNetServer:
         row["overload"] = overload
         if self.sessions is not None:
             row["gateway"] = self.sessions.stats()
+        tenancy = getattr(self._coordinator, "tenancy", None)
+        if tenancy is not None:
+            # Armed front doors only: an unarmed server's ledger keeps its
+            # pre-tenancy shape.
+            row["tenancy"] = dict(tenancy.stats())
+            row["tenancy"]["tenant_rejections"] = self.tenant_rejections
         return row
 
     # -- per-connection loop ------------------------------------------------------
@@ -474,6 +483,7 @@ class ClusterNetServer:
                         break
                     plain = payload
                 try:
+                    claimed, plain = protocol.split_tenant(plain)
                     budget_ms, plain = protocol.split_deadline(plain)
                     requests = protocol.decode_batch(plain)
                 except ProtocolError:
@@ -481,9 +491,26 @@ class ClusterNetServer:
                         writer, protocol.encode_batch_rejection(), session
                     )
                     continue
+                if (session is not None and claimed is not None
+                        and claimed != session.tenant):
+                    # A sealed frame may only claim the principal its
+                    # handshake authenticated; anything else (including a
+                    # claim on a tenant-less session) is a confused-deputy
+                    # attempt and is refused per-frame.
+                    self.tenant_rejections += 1
+                    await self._send_in_session(
+                        writer, protocol.encode_batch_rejection(), session
+                    )
+                    continue
+                # v2: the handshake-authenticated identity is authoritative.
+                # v1 plaintext: the claim rides unauthenticated, like
+                # everything else on the priced baseline.
+                tenant = session.tenant if session is not None else claimed
                 deadline = (Deadline.from_budget_ms(budget_ms)
                             if budget_ms is not None else None)
-                responses = await self._admit_and_execute(requests, deadline)
+                responses = await self._admit_and_execute(
+                    requests, deadline, tenant
+                )
                 self.frames_served += 1
                 self.requests_served += len(requests)
                 action = await self._apply_net_faults()
@@ -520,6 +547,7 @@ class ClusterNetServer:
         self,
         requests: List[Request],
         deadline: Optional[Deadline],
+        tenant: Optional[str] = None,
     ) -> List[Response]:
         """Run one frame through admission control, then the coordinator.
 
@@ -528,7 +556,11 @@ class ClusterNetServer:
         back off, not time out): the frame arrived with its budget already
         spent; the admission gate refused it (queue full, or its deadline
         ran out while queued); or — past admission — the coordinator's own
-        overload layer sheds individual requests.
+        overload layer sheds individual requests.  With a ``tenant``, the
+        coordinator additionally runs per-principal admission (tenancy
+        token buckets) and key prefixing, so a shed there is charged to —
+        and its ``retry_after`` reflects — the offending principal's own
+        bucket, not the global gate.
         """
         if deadline is not None and deadline.expired():
             self.deadline_shed_frames += 1
@@ -537,9 +569,12 @@ class ClusterNetServer:
             if not await self._gate.acquire(deadline):
                 return self._shed(len(requests), b"admission queue full")
         try:
-            if deadline is None:
-                return self._coordinator.execute(requests)
-            return self._coordinator.execute(requests, deadline=deadline)
+            kwargs = {}
+            if deadline is not None:
+                kwargs["deadline"] = deadline
+            if tenant is not None:
+                kwargs["tenant"] = tenant
+            return self._coordinator.execute(requests, **kwargs)
         finally:
             if self._gate is not None:
                 self._gate.release()
@@ -751,6 +786,8 @@ class ClusterClient:
         secure: bool = True,
         expected_measurement: Optional[bytes] = None,
         crypto: str = "fast",
+        tenant: Optional[str] = None,
+        credential: Optional[bytes] = None,
         timeout: float = _UNSET,
         retries: int = _UNSET,
         backoff: float = _UNSET,
@@ -798,9 +835,18 @@ class ClusterClient:
         #: Shared across this client's reads: bounds retry amplification.
         self.retry_budget = RetryBudget(
             ratio=tuning.get("retry_ratio", DEFAULT_RETRY_RATIO))
+        if credential is not None and tenant is None:
+            raise ConfigurationError(
+                "credential requires a tenant id")
         self._secure = secure
         self._expected_measurement = expected_measurement
         self._crypto = crypto
+        #: The principal this client acts as.  Secure connections bind it
+        #: (with the credential) into the attested handshake; insecure v1
+        #: connections claim it per-frame via the tenant envelope,
+        #: unauthenticated like the rest of the plaintext baseline.
+        self._tenant = tenant
+        self._credential = credential
         self._session: Optional[SecureSession] = None
         #: Accumulates this client's share of wire crypto (handshakes plus
         #: per-frame AEAD) across the connection's whole life.
@@ -821,6 +867,8 @@ class ClusterClient:
         secure: bool = True,
         expected_measurement: Optional[bytes] = None,
         crypto: str = "fast",
+        tenant: Optional[str] = None,
+        credential: Optional[bytes] = None,
         timeout: float = DEFAULT_CLIENT_TIMEOUT,
         retries: int = DEFAULT_READ_RETRIES,
         backoff: float = DEFAULT_BACKOFF,
@@ -837,6 +885,11 @@ class ClusterClient:
         ``deadline`` is a default budget (seconds) attached to every
         frame; ``retry_ratio`` bounds retries as a fraction of fresh
         requests (see :class:`~repro.cluster.overload.RetryBudget`).
+        ``tenant``/``credential`` make the connection act as that
+        principal: a secure client authenticates it inside the attested
+        handshake (``credential`` is the tenant secret; it defaults to the
+        derivable demo secret when omitted), an insecure client merely
+        claims it per frame.
         """
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
@@ -845,6 +898,8 @@ class ClusterClient:
                 secure=secure,
                 expected_measurement=expected_measurement,
                 crypto=crypto,
+                tenant=tenant,
+                credential=credential,
                 timeout=timeout,
                 retries=retries,
                 backoff=backoff,
@@ -883,6 +938,8 @@ class ClusterClient:
             expected_measurement=self._expected_measurement,
             crypto=self._crypto,
             meter=self.wire_meter,
+            tenant=self._tenant,
+            credential=self._credential,
         )
         self._send_raw(sock, handshake.hello())
         session = handshake.finish(self._recv_raw(sock))
@@ -912,6 +969,10 @@ class ClusterClient:
                        else None),
             "session_id": (self._session.session_id
                            if self._session is not None else None),
+            # The authenticated principal on a secure connection; the
+            # (unauthenticated) claimed one on a v1 connection.
+            "tenant": (self._session.tenant
+                       if self._session is not None else self._tenant),
             "handshakes": self.handshakes,
             "handshake_cycles": self._last_handshake_cycles,
             "wire_cycles": self.wire_meter.cycles,
@@ -933,6 +994,12 @@ class ClusterClient:
         """
         if deadline is not None:
             payload = protocol.wrap_deadline(payload, deadline.budget_ms())
+        if self._tenant is not None:
+            # Outermost envelope, so the server peels tenant, then
+            # deadline.  On a secure connection this is belt-and-braces
+            # (the session already carries the authenticated tenant and
+            # the server enforces the match); on v1 it is the claim.
+            payload = protocol.wrap_tenant(payload, self._tenant)
         if self._session is not None:
             payload = self._session.seal(payload)
         self._send_raw(self._sock, payload)

@@ -26,6 +26,19 @@ import bisect
 import hashlib
 from typing import Dict, Iterable, List, Mapping, Union
 
+# Tenant key namespaces (ARCHITECTURE §16): the front door relocates every
+# tenant's keys behind a fixed-length prefix *before* they reach the ring,
+# so one consistent-hash circle serves disjoint per-tenant namespaces —
+# re-exported here because prefixing is part of the routing contract.
+from repro.core.tenant import (  # noqa: F401  (re-exports)
+    TENANT_PREFIX_LEN,
+    owner_token_of,
+    prefixed_key,
+    strip_prefix,
+    tenant_prefix,
+    tenant_token,
+)
+
 
 def ring_hash(data: bytes) -> int:
     """The ring's 64-bit position hash (stable across processes)."""

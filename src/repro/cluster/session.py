@@ -44,8 +44,20 @@ The fiction, piece by piece:
 Hello bodies (inside v2 handshake frames, little-endian)::
 
     client hello := "AHLO" | n_versions (1) | versions | nonce (16) | pub (256)
+                  [ | t_len (1) | tenant_id | credential (16) ]
     server hello := "SHLO" | version (1) | nonce (16) | session_id (8)
                   | pub (256) | quote_len (2) | quote
+
+The optional trailing **tenant block** binds a principal into the
+handshake (ARCHITECTURE §16): ``credential`` is a MAC under the tenant's
+secret over the tenant id plus this hello's nonce and DH share
+(:func:`repro.cluster.tenancy.tenant_credential`), so it is fresh per
+connection and replay-proof; and because the transcript hash covers the
+*whole* client hello frame, the quote the server returns attests the
+tenant claim too — a handshake whose tenant block was tampered with
+derives desynchronized keys and fails.  The authenticated tenant id is
+pinned on the resulting :class:`SecureSession` (``session.tenant``), and
+the front door rejects sealed frames whose claimed tenant differs.
 """
 
 from __future__ import annotations
@@ -228,6 +240,8 @@ class SecureSession:
         self._recv_seq = 0
         self.frames_sealed = 0
         self.frames_opened = 0
+        #: Tenant id authenticated at handshake time (``None`` = anonymous).
+        self.tenant: Optional[str] = None
 
     @property
     def cipher(self) -> str:
@@ -313,6 +327,12 @@ class ClientHandshake:
     ``None`` the quote is still verified against the attestation root and
     the transcript, but any genuine enclave is accepted (trust on first
     use).
+
+    ``tenant``/``credential`` attach the optional tenant block to the
+    hello: ``credential`` is the tenant's *secret* (the per-handshake MAC
+    is derived from it here, because it must cover this hello's fresh
+    nonce and DH share); when ``None`` the simulation's derivable default
+    secret is used.
     """
 
     def __init__(
@@ -324,6 +344,8 @@ class ClientHandshake:
         meter: Optional[CycleMeter] = None,
         versions: Tuple[int, ...] = SUPPORTED_VERSIONS,
         rng=os.urandom,
+        tenant: Optional[str] = None,
+        credential: Optional[bytes] = None,
     ):
         self._expected = expected_measurement
         self._crypto = (crypto if isinstance(crypto, CryptoBackend)
@@ -334,15 +356,35 @@ class ClientHandshake:
         self._rng = rng
         self._secret = _dh_secret(rng)
         self._hello_frame: Optional[bytes] = None
+        if credential is not None and tenant is None:
+            raise HandshakeError("credential given without a tenant id")
+        self.tenant = tenant
+        self._tenant_secret = credential
 
     def hello(self) -> bytes:
         """The complete v2 handshake frame payload to send first."""
+        nonce = self._rng(NONCE_SIZE)
+        public = _dh_public(self._secret)
         body = (
             _CLIENT_HELLO.pack(_CLIENT_MAGIC, len(self._versions))
             + bytes(self._versions)
-            + self._rng(NONCE_SIZE)
-            + _dh_public(self._secret)
+            + nonce
+            + public
         )
+        if self.tenant is not None:
+            from repro.cluster.tenancy import (
+                default_tenant_secret, tenant_credential,
+            )
+            raw = self.tenant.encode("utf-8")
+            if not 0 < len(raw) < 256:
+                raise HandshakeError("tenant id does not fit the hello")
+            secret = (self._tenant_secret if self._tenant_secret is not None
+                      else default_tenant_secret(self.tenant))
+            cred = tenant_credential(
+                self._crypto, secret, self.tenant, nonce, public)
+            body += len(raw).to_bytes(1, "little") + raw + cred
+            self.meter.charge_event(
+                "wire_mac", self._costs.mac_cost(len(raw) + len(cred)))
         self.meter.charge_event("wire_kex", self._costs.kex)
         self._hello_frame = protocol.encode_frame(
             FrameHeader(version=WIRE_V2, flags=FLAG_HANDSHAKE), body
@@ -382,7 +424,7 @@ class ClientHandshake:
         self.meter.charge_event("wire_kex", self._costs.kex)
         shared = _dh_shared(server_public, self._secret)
         c2s, s2c = _derive_session_keys(shared, transcript)
-        return SecureSession(
+        session = SecureSession(
             session_id,
             send_keys=c2s,
             recv_keys=s2c,
@@ -391,6 +433,10 @@ class ClientHandshake:
             meter=self.meter,
             from_server=False,
         )
+        # The server accepted a hello carrying our tenant block (else it
+        # would have rejected the handshake), so the claim is established.
+        session.tenant = self.tenant
+        return session
 
 
 class SessionManager:
@@ -413,11 +459,22 @@ class SessionManager:
         costs: CostModel = DEFAULT_COSTS,
         accept_versions: Tuple[int, ...] = SUPPORTED_VERSIONS,
         rng=os.urandom,
+        registry=None,
+        require_tenant: bool = False,
     ):
         if keys is None:
             keys = (KeyMaterial.from_seed(seed) if seed is not None
                     else KeyMaterial.random())
         self.keys = keys
+        #: Optional :class:`repro.cluster.tenancy.TenantRegistry`; without
+        #: one, hellos carrying a tenant block are rejected (a client
+        #: asking for an authenticated session must not silently get an
+        #: anonymous one).
+        self.registry = registry
+        self.require_tenant = require_tenant
+        if require_tenant and registry is None:
+            raise HandshakeError(
+                "require_tenant without a tenant registry")
         self._crypto = (crypto if isinstance(crypto, CryptoBackend)
                         else get_backend(crypto))
         self._costs = costs
@@ -462,10 +519,10 @@ class SessionManager:
             raise HandshakeError("malformed client hello")
         expected_len = (_CLIENT_HELLO.size + n_versions + NONCE_SIZE
                         + DH_BYTES)
-        if len(body) != expected_len:
+        if len(body) < expected_len:
             raise HandshakeError(
                 f"truncated client hello: {len(body)} bytes, "
-                f"expected {expected_len}"
+                f"expected at least {expected_len}"
             )
         offered = body[_CLIENT_HELLO.size:_CLIENT_HELLO.size + n_versions]
         common = set(offered) & set(self._accept_versions)
@@ -475,7 +532,11 @@ class SessionManager:
                 f"accept {sorted(self._accept_versions)})"
             )
         version = max(common)
-        client_public = body[-DH_BYTES:]
+        nonce_off = _CLIENT_HELLO.size + n_versions
+        client_nonce = body[nonce_off:nonce_off + NONCE_SIZE]
+        client_public = body[expected_len - DH_BYTES:expected_len]
+        tenant_id = self._check_tenant_block(
+            body[expected_len:], client_nonce, client_public)
 
         secret = _dh_secret(self._rng)
         session_id = next(self._ids)
@@ -499,6 +560,7 @@ class SessionManager:
             meter=self.meter,
             from_server=True,
         )
+        session.tenant = tenant_id
         self.sessions[session_id] = session
         self.handshakes += 1
         reply = protocol.encode_frame(
@@ -509,6 +571,38 @@ class SessionManager:
         )
         return reply, session
 
+    def _check_tenant_block(self, extra: bytes, nonce: bytes,
+                            client_public: bytes) -> Optional[str]:
+        """Authenticate the hello's optional trailing tenant block.
+
+        Returns the verified tenant id (or ``None`` for an anonymous
+        hello); raises :class:`~repro.errors.HandshakeError` for a
+        malformed block, an unconfigured registry, a failed credential, or
+        (under ``require_tenant``) a missing block.
+        """
+        if not extra:
+            if self.require_tenant:
+                raise HandshakeError(
+                    "this front door requires tenant authentication")
+            return None
+        if self.registry is None:
+            raise HandshakeError(
+                "client presented a tenant block but tenancy is not "
+                "enabled on this front door")
+        t_len = extra[0]
+        if t_len == 0 or len(extra) != 1 + t_len + MAC_SIZE:
+            raise HandshakeError("malformed tenant block")
+        try:
+            tenant_id = extra[1:1 + t_len].decode("utf-8")
+        except UnicodeDecodeError:
+            raise HandshakeError("tenant id is not valid UTF-8") from None
+        credential = extra[1 + t_len:]
+        self.meter.charge_event(
+            "wire_mac", self._costs.mac_cost(len(extra)))
+        self.registry.verify(
+            self._crypto, tenant_id, credential, nonce, client_public)
+        return tenant_id
+
     def retire(self, session: SecureSession) -> None:
         """Close out a connection's session; its id becomes stale."""
         if self.sessions.pop(session.session_id, None) is not None:
@@ -516,7 +610,7 @@ class SessionManager:
 
     def stats(self) -> dict:
         """The gateway's row: session counts plus its metered cycles."""
-        return {
+        row = {
             "handshakes": self.handshakes,
             "active_sessions": len(self.sessions),
             "retired_sessions": len(self.retired),
@@ -524,3 +618,9 @@ class SessionManager:
             "cycles": self.meter.cycles,
             "events": dict(self.meter.events),
         }
+        # Tenant visibility only when tenancy is armed, so an unarmed
+        # gateway's stats stay byte-identical to the pre-tenancy shape.
+        if self.registry is not None:
+            row["tenant_sessions"] = sum(
+                1 for s in self.sessions.values() if s.tenant is not None)
+        return row

@@ -41,14 +41,17 @@ class ClusterStats:
     ``overload_stats`` method so :meth:`report` reads counters at report
     time, not at window start).  When present, the report's cluster row
     carries it under ``"overload"`` so operators see shedding, breaker
-    trips and brownout time next to throughput.
+    trips and brownout time next to throughput.  ``tenancy`` works the
+    same way for the multi-tenant front door's per-principal
+    admitted/shed counters (``"tenancy"`` row).
     """
 
-    def __init__(self, shards: Iterable, *, overload=None):
+    def __init__(self, shards: Iterable, *, overload=None, tenancy=None):
         self._shards: List = list(shards)
         if not self._shards:
             raise ValueError("no shards to aggregate")
         self._overload = overload
+        self._tenancy = tenancy
         self._baselines: Dict[str, MeterSnapshot] = {}
         self.rebaseline()
 
@@ -189,4 +192,15 @@ class ClusterStats:
             counters = self._overload() if callable(self._overload) \
                 else self._overload
             cluster["overload"] = dict(counters)
+        if self._tenancy is not None:
+            counters = self._tenancy() if callable(self._tenancy) \
+                else self._tenancy
+            cluster["tenancy"] = dict(counters)
+            # Shard-side eviction isolation, off the same window deltas as
+            # everything else: how often a tenant's miss was denied an
+            # eviction because the victim was another tenant's protected
+            # entry (events ride MeterSnapshot, identical on all backends).
+            cluster["tenancy"]["window_evict_denied"] = sum(
+                self._delta(s).events["tenant_evict_denied"]
+                for s in self._shards)
         return {"shards": per_shard, "cluster": cluster}

@@ -62,6 +62,13 @@ class AriaConfig:
     # key-access frequencies (hash index only; 0 = off, as in the paper).
     dummy_bucket_reads: int = 0
 
+    # Multi-tenant Secure Cache partitioning (ARCHITECTURE §16): owner
+    # token (hex digest embedded in tenant-prefixed keys) -> guaranteed
+    # fraction of each Secure Cache's entries.  None = unarmed; the store
+    # then behaves bit-identically to a pre-tenancy build.  Plain dict of
+    # str -> float so it crosses process/socket spawn specs unchanged.
+    tenant_quotas: "dict | None" = None
+
     # Deterministic seeds.
     seed: int = 0
 
@@ -80,6 +87,17 @@ class AriaConfig:
             raise ConfigurationError("initial_counters must be positive")
         if not 0.0 <= self.stop_swap_threshold <= 1.0:
             raise ConfigurationError("stop_swap_threshold must be in [0, 1]")
+        if self.tenant_quotas is not None:
+            if not self.tenant_quotas:
+                raise ConfigurationError(
+                    "tenant_quotas must be None or non-empty")
+            for owner, fraction in self.tenant_quotas.items():
+                if not 0.0 < float(fraction) <= 1.0:
+                    raise ConfigurationError(
+                        f"tenant quota {fraction!r} for {owner!r} not in "
+                        "(0, 1]")
+            if sum(self.tenant_quotas.values()) > 1.0 + 1e-9:
+                raise ConfigurationError("tenant quotas sum above 1.0")
 
 
 def aria_base_config(**overrides) -> AriaConfig:

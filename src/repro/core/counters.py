@@ -68,6 +68,7 @@ class CounterManager:
         stop_swap_patience: int = 1,
         swap_encrypt: bool = False,
         writeback_clean: bool = False,
+        tenant_quotas: Optional[dict] = None,
         expansion_counters: Optional[int] = None,
         expansion_cache_bytes: Optional[int] = None,
         seed: int = 0,
@@ -84,7 +85,9 @@ class CounterManager:
             stop_swap_patience=stop_swap_patience,
             swap_encrypt=swap_encrypt,
             writeback_clean=writeback_clean,
+            tenant_quotas=tenant_quotas,
         )
+        self._tenant_armed = tenant_quotas is not None
         self._expansion_counters = expansion_counters or initial_counters
         self._expansion_cache_bytes = expansion_cache_bytes or cache_bytes
         self._rng = random.Random(seed)
@@ -203,6 +206,15 @@ class CounterManager:
 
     # -- counter access (verified through the Secure Cache) --------------------------
 
+    def set_tenant_owner(self, owner: Optional[str]) -> None:
+        """Attribute subsequent cache activity to a tenant owner token.
+
+        The store calls this at the top of every op (only when tenancy is
+        armed); every area's Secure Cache shares the same owner context.
+        """
+        for area in self._areas:
+            area.cache.set_owner(owner)
+
     def read_counter(self, red_ptr: int) -> bytes:
         area, local_id = self._split(red_ptr)
         return area.cache.read_counter(local_id)
@@ -226,6 +238,21 @@ class CounterManager:
             totals["clean_discards"] += stats.clean_discards
         accesses = totals["hits"] + totals["misses"]
         totals["hit_ratio"] = totals["hits"] / accesses if accesses else 0.0
+        # Tenancy rows only when armed: an unarmed store's report stays
+        # byte-identical to the pre-tenancy shape.
+        tenant_rows = [
+            row for row in
+            (area.cache.tenant_stats() for area in self._areas)
+            if row is not None
+        ]
+        if tenant_rows:
+            occupancy: dict = {}
+            for row in tenant_rows:
+                for owner, count in row["occupancy"].items():
+                    occupancy[owner] = occupancy.get(owner, 0) + count
+            totals["tenant_evict_denials"] = sum(
+                row["denials"] for row in tenant_rows)
+            totals["tenant_occupancy"] = occupancy
         return totals
 
     # -- state capture / restore (enclave restart) -----------------------------

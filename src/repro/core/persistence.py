@@ -119,6 +119,7 @@ def restore_store(
             stop_swap_patience=config.stop_swap_patience,
             swap_encrypt=config.swap_encrypt,
             writeback_clean=config.writeback_clean,
+            tenant_quotas=config.tenant_quotas,
             expansion_counters=config.expansion_counters,
             expansion_cache_bytes=config.expansion_cache_bytes,
             seed=config.seed,
@@ -135,4 +136,5 @@ def restore_store(
         if state["index"]["kind"] != store.index.name:
             raise IntegrityError("sealed index kind mismatch")
         store.index.restore_state(state["index"])
+    store._tenant_armed = config.tenant_quotas is not None
     return store

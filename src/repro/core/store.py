@@ -67,6 +67,7 @@ class AriaStore:
                 stop_swap_patience=self.config.stop_swap_patience,
                 swap_encrypt=self.config.swap_encrypt,
                 writeback_clean=self.config.writeback_clean,
+                tenant_quotas=self.config.tenant_quotas,
                 expansion_counters=self.config.expansion_counters,
                 expansion_cache_bytes=self.config.expansion_cache_bytes,
                 seed=self.config.seed,
@@ -74,6 +75,9 @@ class AriaStore:
             self.codec = RecordCodec(self.enclave, self.counters)
             self.allocator = self._make_allocator()
             self.index = self._make_index()
+        # Armed only when the config carries cache quotas; the unarmed op
+        # path is untouched (no owner parsing, no extra calls).
+        self._tenant_armed = self.config.tenant_quotas is not None
 
     def _make_allocator(self) -> Allocator:
         if self.config.allocator == "heap":
@@ -115,19 +119,36 @@ class AriaStore:
 
     # -- public KV API ----------------------------------------------------------
 
+    def _set_owner_from_key(self, key: bytes) -> None:
+        """Attribute this op's cache activity to the key's tenant owner.
+
+        The owner token is purely syntactic (the digest embedded in a
+        tenant-prefixed key, :func:`repro.core.tenant.owner_token_of`), so
+        the shard needs no tenant roster — the front door already
+        authenticated the principal and prefixed the key.
+        """
+        from repro.core.tenant import owner_token_of
+        self.counters.set_tenant_owner(owner_token_of(key))
+
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or update a KV pair (Section V-D Put walkthrough)."""
+        if self._tenant_armed:
+            self._set_owner_from_key(key)
         self.index.put(key, value)
         self.enclave.meter.count("op_put")
 
     def get(self, key: bytes) -> bytes:
         """Fetch and verify a KV pair (Section V-D Get walkthrough)."""
+        if self._tenant_armed:
+            self._set_owner_from_key(key)
         value = self.index.get(key)
         self.enclave.meter.count("op_get")
         return value
 
     def delete(self, key: bytes) -> None:
         """Remove a KV pair; its counter returns to the free ring."""
+        if self._tenant_armed:
+            self._set_owner_from_key(key)
         self.index.delete(key)
         self.enclave.meter.count("op_delete")
 
@@ -188,6 +209,8 @@ class AriaStore:
         """Insert many pairs without charging cycles (experiment setup)."""
         with MeterPause(self.enclave.meter):
             for key, value in pairs:
+                if self._tenant_armed:
+                    self._set_owner_from_key(key)
                 self.index.put(key, value)
 
     # -- reporting -------------------------------------------------------------------

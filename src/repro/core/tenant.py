@@ -1,0 +1,82 @@
+"""Tenant key namespaces: fixed-length prefixes carving one key universe.
+
+The multi-tenant front door (ARCHITECTURE §16) gives every principal a
+disjoint slice of the cluster's key space by *prefixing*, not by separate
+stores: a tenant's keys all begin with ::
+
+    tenant prefix := b"t:" | blake2b(tenant_id, digest_size=8) | b":"
+
+Every prefix has the same length (:data:`TENANT_PREFIX_LEN` bytes), so the
+prefix set is **prefix-free**: no tenant's prefix is a prefix of another's,
+and therefore no key of tenant A can ever begin with tenant B's prefix —
+the disjointness property the hypothesis suite pins down.  Digest
+collisions between distinct tenant ids are rejected at registration time
+(:class:`repro.cluster.tenancy.TenantRegistry`), so within one cluster the
+mapping tenant -> namespace is injective.
+
+This module is deliberately tiny and dependency-free: the cluster front
+door uses it to rewrite keys, and the *shard-side* store uses it to
+attribute Secure Cache occupancy to the owning tenant — both ends must
+agree on the byte format, so it lives below both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+#: Leading marker of every tenant-prefixed key.
+TENANT_MARKER = b"t:"
+#: blake2b digest bytes identifying a tenant inside the prefix.
+TENANT_DIGEST_BYTES = 8
+#: Total prefix length: marker + digest + b":".  Fixed for every tenant,
+#: which is what makes the namespace set prefix-free.
+TENANT_PREFIX_LEN = len(TENANT_MARKER) + TENANT_DIGEST_BYTES + 1
+
+_DIGEST_KEY = b"aria-tenant-ns"
+
+
+def tenant_digest(tenant_id: str) -> bytes:
+    """The 8-byte namespace digest of a tenant id (keyed, stable)."""
+    return hashlib.blake2b(
+        tenant_id.encode("utf-8"), key=_DIGEST_KEY,
+        digest_size=TENANT_DIGEST_BYTES,
+    ).digest()
+
+
+def tenant_token(tenant_id: str) -> str:
+    """The owner token the shard side sees: the digest, hex-encoded."""
+    return tenant_digest(tenant_id).hex()
+
+
+def tenant_prefix(tenant_id: str) -> bytes:
+    """The fixed-length key prefix owning ``tenant_id``'s namespace."""
+    return TENANT_MARKER + tenant_digest(tenant_id) + b":"
+
+
+def prefixed_key(tenant_id: str, key: bytes) -> bytes:
+    """``key`` relocated into ``tenant_id``'s namespace."""
+    return tenant_prefix(tenant_id) + key
+
+
+def owner_token_of(key: bytes) -> Optional[str]:
+    """The owner token of a tenant-prefixed key, or ``None``.
+
+    Purely syntactic — the shard side has no tenant list, only the digest
+    embedded in the key, which is exactly enough to attribute cache
+    occupancy and to look up a quota keyed by token.
+    """
+    if (
+        len(key) >= TENANT_PREFIX_LEN
+        and key.startswith(TENANT_MARKER)
+        and key[TENANT_PREFIX_LEN - 1:TENANT_PREFIX_LEN] == b":"
+    ):
+        return key[len(TENANT_MARKER):TENANT_PREFIX_LEN - 1].hex()
+    return None
+
+
+def strip_prefix(key: bytes) -> bytes:
+    """The tenant-relative key (identity for unprefixed keys)."""
+    if owner_token_of(key) is not None:
+        return key[TENANT_PREFIX_LEN:]
+    return key

@@ -39,6 +39,7 @@ _BACKEND_MODULES = {
     "test_cluster_faults",
     "test_cluster_overload",
     "test_cluster_replication",
+    "test_cluster_tenancy",
     "test_durability_recovery",
     "test_netserver",
     "test_wire_session",
@@ -54,6 +55,7 @@ _SOCKET_MODULES = {
     "test_cluster_faults",
     "test_cluster_overload",
     "test_cluster_replication",
+    "test_cluster_tenancy",
 }
 
 _BACKEND_PARAMS = [

@@ -1,0 +1,257 @@
+"""The typed construction surface: ClusterConfig precedence, deprecation,
+validation, and the serve() lifecycle.
+
+The contract under test (ARCHITECTURE §16): one config object replaces
+the keyword-sprawl factories; precedence is explicit argument > config >
+environment, with the environment resolved *once* by ``from_env``; the
+legacy spellings keep working behind a :class:`DeprecationWarning` and
+build the same cluster, bit for bit.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    DurabilityConfig,
+    TenancyConfig,
+    TenantConfig,
+    build_cluster,
+    serve,
+)
+from repro.cluster.backend import BACKEND_ENV_VAR
+from repro.cluster.config import build_cluster as build_from_config
+from repro.cluster.shard import WORKERS_ENV_VAR
+from repro.core.tenant import tenant_token
+from repro.errors import ConfigurationError
+from repro.server import protocol
+from repro.server.protocol import STATUS_OK
+
+pytestmark = pytest.mark.tenant
+
+
+def small(**overrides):
+    fields = dict(n_shards=2, n_keys=128, scale=2048, batch_window=8)
+    fields.update(overrides)
+    return ClusterConfig(**fields)
+
+
+# -- validation -------------------------------------------------------------------
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("n_shards", 0), ("n_keys", 0), ("scale", 0),
+        ("batch_window", 0), ("replication", 0), ("workers", 0),
+    ])
+    def test_rejects_out_of_range_fields(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(**{field: value})
+
+    def test_durability_config_validates(self):
+        with pytest.raises(ConfigurationError):
+            DurabilityConfig(data_dir="")
+        with pytest.raises(ConfigurationError):
+            DurabilityConfig(data_dir="/tmp/x", epoch_every=0)
+
+    def test_tenant_config_validates(self):
+        with pytest.raises(ConfigurationError):
+            TenantConfig("acme", rate=10.0)  # rate without burst
+        with pytest.raises(ConfigurationError):
+            TenantConfig("acme", cache_quota=1.5)
+        with pytest.raises(ConfigurationError):
+            TenantConfig("")
+        with pytest.raises(ConfigurationError):
+            TenancyConfig(tenants=())
+        with pytest.raises(ConfigurationError):
+            TenancyConfig(tenants=(TenantConfig("a"), TenantConfig("a")))
+        with pytest.raises(ConfigurationError):
+            TenancyConfig(tenants=(TenantConfig("a", cache_quota=0.6),
+                                   TenantConfig("b", cache_quota=0.6)))
+
+    def test_with_overrides_returns_a_validated_copy(self):
+        config = small()
+        copy = config.with_overrides(n_shards=4)
+        assert copy.n_shards == 4
+        assert config.n_shards == 2  # frozen original untouched
+        with pytest.raises(ConfigurationError):
+            config.with_overrides(n_shards=0)
+
+
+# -- precedence: explicit > config > environment ----------------------------------
+
+
+class TestPrecedence:
+    def test_from_env_pins_the_environment_now(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        config = ClusterConfig.from_env(n_shards=2, n_keys=128)
+        assert config.backend == "process"
+        assert config.workers == 3
+        # Later environment churn cannot change what this config builds.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "socket")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert config.backend == "process"
+        assert config.workers == 3
+
+    def test_explicit_argument_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        config = ClusterConfig.from_env(backend="inline", workers=1)
+        assert config.backend == "inline"
+        assert config.workers == 1
+
+    def test_absent_environment_defers_to_field_defaults(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        config = ClusterConfig.from_env()
+        assert config.backend is None
+        assert config.workers is None
+
+    def test_malformed_workers_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "lots")
+        assert ClusterConfig.from_env().workers is None
+
+    def test_explicit_tenant_quotas_override_beats_tenancy(self):
+        tenancy = TenancyConfig(tenants=(
+            TenantConfig("acme", cache_quota=0.4),))
+        config = small(tenancy=tenancy)
+        assert config.resolved_shard_overrides() == {
+            "tenant_quotas": {tenant_token("acme"): 0.4}}
+        pinned = small(tenancy=tenancy,
+                       shard_overrides={"tenant_quotas": None})
+        assert pinned.resolved_shard_overrides() == {"tenant_quotas": None}
+
+
+# -- the deprecated spellings keep working ----------------------------------------
+
+
+class TestDeprecatedFactories:
+    def test_from_kwargs_warns_and_splits_the_kwarg_tail(self):
+        with pytest.warns(DeprecationWarning, match="ClusterConfig"):
+            config = ClusterConfig.from_kwargs(
+                2, n_keys=128, scale=2048, batch_window=8,
+                value_hint=64)
+        assert config.n_shards == 2
+        assert config.n_keys == 128
+        assert config.shard_overrides == {"value_hint": 64}
+
+    def test_legacy_build_cluster_warns(self):
+        with pytest.warns(DeprecationWarning, match="ClusterConfig"):
+            coord = build_cluster(2, n_keys=128, scale=2048, batch_window=8)
+        coord.close()
+
+    def test_typed_door_is_silent_and_equivalent(self):
+        """build_cluster(config) emits no warning and builds the same
+        cluster as the keyword spelling — same responses, same cycles."""
+        def drive(coord):
+            rng = random.Random(42)
+            outputs = []
+            for _ in range(4):
+                batch = []
+                for _ in range(16):
+                    key = b"key-%04d" % rng.randrange(64)
+                    if rng.random() < 0.5:
+                        batch.append(protocol.put(
+                            key, b"v-%d" % rng.randrange(100)))
+                    else:
+                        batch.append(protocol.get(key))
+                outputs.extend(coord.execute(batch))
+            cycles = sum(s.meter.cycles for s in coord.shard_list())
+            coord.close()
+            return [(r.status, bytes(r.value)) for r in outputs], cycles
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            typed = drive(build_cluster(small()))
+            module_level = drive(build_from_config(small()))
+        with pytest.warns(DeprecationWarning):
+            legacy = drive(build_cluster(2, n_keys=128, scale=2048,
+                                         batch_window=8))
+        assert typed == legacy
+        assert module_level == legacy
+
+    def test_typed_door_rejects_mixed_keywords(self):
+        with pytest.raises(ValueError):
+            build_cluster(small(), n_keys=64)
+        with pytest.raises(ValueError):
+            build_cluster(small(), value_hint=64)
+        with pytest.raises(TypeError):
+            build_cluster("four")
+        with pytest.raises(TypeError):
+            build_cluster(2)  # the keyword factory requires n_keys
+
+
+# -- build() arms the nested sub-systems ------------------------------------------
+
+
+class TestBuild:
+    def test_build_arms_tenancy_and_overload(self):
+        from repro.cluster import OverloadConfig
+        config = small(
+            overload=OverloadConfig(),
+            tenancy=TenancyConfig(tenants=(
+                TenantConfig("acme", rate=100.0, burst=10.0,
+                             cache_quota=0.4),)),
+        )
+        coord = config.build()
+        try:
+            assert coord.overload is not None
+            assert coord.tenancy is not None
+            assert "acme" in coord.tenancy.registry
+            # The cache quotas reached the shard stores (keyed by token).
+            token = tenant_token("acme")
+            for shard in coord.shard_list():
+                quotas = getattr(shard, "store", None)
+                if quotas is not None:  # inline shards expose the store
+                    assert shard.store.config.tenant_quotas == {token: 0.4}
+        finally:
+            coord.close()
+
+    def test_durability_requires_nothing_extra_and_restores(self, tmp_path):
+        config = small(durability=DurabilityConfig(data_dir=str(tmp_path)))
+        coord = config.build()
+        try:
+            [r] = coord.execute([protocol.put(b"durable", b"v")])
+            assert r.status == STATUS_OK
+            assert coord.durability_restored == {}
+        finally:
+            coord.close()
+        revived = config.build()
+        try:
+            assert revived.durability_restored  # recovery replayed something
+            [r] = revived.execute([protocol.get(b"durable")])
+            assert r.value == b"v"
+        finally:
+            revived.close()
+
+
+# -- serve(): the whole front door from one config --------------------------------
+
+
+class TestServe:
+    def test_serve_lifecycle_and_tenant_door(self):
+        tenancy = TenancyConfig(tenants=(TenantConfig("acme"),))
+        server = serve(small(tenancy=tenancy))
+        try:
+            host, port = server.server.address
+            with ClusterClient.connect(host, port, tenant="acme") as client:
+                assert client.session_info()["tenant"] == "acme"
+                assert client.put(b"k", b"v").status == STATUS_OK
+                assert client.get(b"k").value == b"v"
+        finally:
+            server.close()
+
+    def test_serve_plaintext_door_skips_the_session_gateway(self):
+        tenancy = TenancyConfig(tenants=(TenantConfig("acme"),))
+        server = serve(small(tenancy=tenancy), security="plaintext")
+        try:
+            host, port = server.server.address
+            with ClusterClient.connect(host, port, secure=False,
+                                       tenant="acme") as client:
+                assert client.put(b"k", b"v").status == STATUS_OK
+        finally:
+            server.close()
