@@ -207,6 +207,19 @@ class TenantPartition:
     def quota_entries(self, owner: str) -> Optional[int]:
         return self._quota_entries.get(owner)
 
+    def retarget(self, quotas: dict, max_entries: int) -> None:
+        """Adopt a new quota map live (roster/topology re-partitioning).
+
+        Only the guaranteed-floor table is rebuilt; ownership attribution
+        (``_owner_of``/``_owner_keys``) survives, so entries cached under
+        the old roster keep their owners — a departed tenant's entries
+        simply lose their floor and become ordinary eviction candidates.
+        """
+        self._quota_entries = {
+            owner: max(1, int(max_entries * fraction))
+            for owner, fraction in quotas.items()
+        }
+
     @property
     def quotas(self) -> dict:
         """Owner token -> guaranteed entry count (a copy)."""

@@ -134,6 +134,21 @@ class SecureCache:
         if self._partition is not None:
             self._partition.current_owner = owner
 
+    def retarget_quotas(self, quotas: Optional[dict]) -> None:
+        """Re-partition live for a new quota map (§16's follow-on).
+
+        ``None``/empty disarms; a map arms (or re-arms) with floors
+        recomputed against this cache's entry capacity.  Cached entries
+        and their ownership attribution survive either way.
+        """
+        if not quotas:
+            self._partition = None
+            return
+        if self._partition is None:
+            self._partition = TenantPartition(quotas, self.max_entries)
+        else:
+            self._partition.retarget(quotas, self.max_entries)
+
     # -- pinning ----------------------------------------------------------------
 
     def _pin_levels_now(self, levels: frozenset) -> None:

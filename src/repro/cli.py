@@ -9,6 +9,7 @@ Commands:
 * ``inspect``   — show how a store would be sized at a given scale.
 * ``serve``     — run the sharded cluster's asyncio TCP server.
 * ``shard-host``— run one shard-host process for the socket backend.
+* ``reconfig``  — rehearse a live shard add/remove under zipf traffic.
 """
 
 from __future__ import annotations
@@ -391,6 +392,91 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reconfig(args: argparse.Namespace) -> int:
+    """Rehearse a live topology change: plan, execute under traffic, verify.
+
+    Builds a cluster with EPC headroom, loads it, then runs the full
+    elastic cycle — plan through the constraint models, migrate in
+    bounded batches interleaved with zipfian serving traffic, cut over,
+    retire — and (with ``--and-remove``) shrinks back, verifying zero
+    acked-write loss at the end.  The operator-facing dry run for
+    ARCHITECTURE §17.
+    """
+    from repro.cluster import ClusterConfig
+    from repro.errors import AriaError, PlanRejectedError
+    from repro.server import protocol
+    from repro.workloads.ycsb import YcsbWorkload
+
+    config = ClusterConfig.from_env(
+        n_shards=args.shards,
+        n_keys=args.keys,
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
+        max_shards=max(args.shards + 1, args.max_shards or 0),
+    )
+    coordinator = config.build()
+    engine = coordinator.elastic
+    try:
+        workload = YcsbWorkload(n_keys=args.keys, read_ratio=0.5,
+                                distribution="zipfian", skew=0.99,
+                                seed=args.seed)
+        coordinator.load(workload.load_items())
+        ops = iter(workload.operations(10_000_000))
+        acked = {}
+
+        def drive_until_idle(label: str) -> int:
+            batches = 0
+            while engine.active:
+                batch = []
+                for _ in range(64):
+                    op = next(ops)
+                    if op.kind == "get":
+                        batch.append(protocol.get(op.key))
+                    else:
+                        batch.append(protocol.put(op.key, op.value))
+                responses = coordinator.execute(batch)
+                for request, response in zip(batch, responses):
+                    if request.opcode == protocol.OpCode.PUT \
+                            and response.status == protocol.Status.OK:
+                        acked[request.key] = request.value
+                batches += 1
+            print(f"  {label}: drained in {batches} batches under traffic")
+            return batches
+
+        print(f"cluster: {args.shards} shards, backend "
+              f"{args.backend or 'inline'}, {args.keys} keys")
+        try:
+            plan = engine.add_shard()
+        except PlanRejectedError as exc:
+            print(f"plan rejected [{exc.constraint}]: {exc}",
+                  file=sys.stderr)
+            return 3
+        print(plan.describe())
+        drive_until_idle("add")
+        if args.and_remove:
+            new_id = plan.delta.add_shards[0]
+            plan = engine.remove_shard(new_id)
+            print(plan.describe())
+            drive_until_idle("remove")
+        lost = 0
+        for key, value in acked.items():
+            try:
+                if coordinator.get(key) != value:
+                    lost += 1
+            except AriaError:
+                lost += 1
+        stats = engine.stats()
+        print(f"migrations: {stats['migrations_completed']} completed, "
+              f"{stats['migrations_aborted']} aborted; "
+              f"{stats['keys_migrated']} keys migrated, "
+              f"{stats['dual_applied']} writes dual-applied")
+        print(f"acked writes verified: {len(acked)}, lost: {lost}")
+        return 1 if lost else 0
+    finally:
+        coordinator.close()
+
+
 def _cmd_shard_host(args: argparse.Namespace) -> int:
     from repro.cluster import run_shard_host
 
@@ -519,6 +605,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --tenants: refuse v2 handshakes that "
                             "carry no authenticated tenant block")
     serve.set_defaults(func=_cmd_serve)
+
+    reconfig = sub.add_parser(
+        "reconfig",
+        help="rehearse a live elastic topology change: plan through the "
+             "constraint models, add (and optionally remove) a shard "
+             "under zipfian traffic, verify zero acked-write loss")
+    reconfig.add_argument("--shards", type=int, default=4)
+    reconfig.add_argument("--max-shards", type=int, default=None,
+                          help="EPC headroom the planner budgets for "
+                               "(default: shards + 1)")
+    reconfig.add_argument("--keys", type=int, default=5_000)
+    reconfig.add_argument("--scale", type=int, default=512)
+    reconfig.add_argument("--seed", type=int, default=0)
+    reconfig.add_argument("--backend", default=None,
+                          choices=["inline", "process", "socket"])
+    reconfig.add_argument("--and-remove", action="store_true",
+                          help="after the add completes, remove the new "
+                               "shard again (the full 4->5->4 cycle)")
+    reconfig.set_defaults(func=_cmd_reconfig)
 
     shard_host = sub.add_parser(
         "shard-host",

@@ -42,7 +42,12 @@ front door:
   disjoint key namespaces, and Secure-Cache quotas (ARCHITECTURE §16);
 * :mod:`~repro.cluster.config` — :class:`ClusterConfig`, the typed
   single construction surface over all of the above (plus
-  :func:`serve`), replacing the deprecated factory kwarg sprawl.
+  :func:`serve`), replacing the deprecated factory kwarg sprawl;
+* :mod:`~repro.cluster.elastic` — elastic scale-out: the model-checked
+  :class:`ReconfigPlanner` (typed constraint rejections) and the
+  :class:`ElasticCluster` live migration engine — shard add/remove
+  under traffic with dual-applied writes, staged fault injection, and
+  abort/rollback (ARCHITECTURE §17).
 """
 
 from repro.cluster.backend import (
@@ -64,6 +69,18 @@ from repro.cluster.coordinator import (
     DEFAULT_BATCH_WINDOW,
     build_cluster,
 )
+from repro.cluster.elastic import (
+    CONSTRAINT_MODELS,
+    MIGRATION_STAGES,
+    STAGE_ORDINALS,
+    ElasticCluster,
+    ReconfigPlan,
+    ReconfigPlanner,
+    ShardSpec,
+    TopologyDelta,
+    elastic_target,
+)
+from repro.errors import PlanRejectedError
 from repro.cluster.tenancy import (
     TenancyConfig,
     TenantConfig,
@@ -171,7 +188,17 @@ __all__ = [
     "ClusterCoordinator",
     "ClusterNetServer",
     "ClusterStats",
+    "CONSTRAINT_MODELS",
     "DurabilityConfig",
+    "ElasticCluster",
+    "MIGRATION_STAGES",
+    "PlanRejectedError",
+    "ReconfigPlan",
+    "ReconfigPlanner",
+    "STAGE_ORDINALS",
+    "ShardSpec",
+    "TopologyDelta",
+    "elastic_target",
     "TenancyConfig",
     "TenantConfig",
     "TenantRegistry",

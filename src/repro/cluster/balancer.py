@@ -42,7 +42,18 @@ class MigrationReport:
 
 
 class HotShardBalancer:
-    """Periodically inspects shard loads and migrates hot key ranges."""
+    """Periodically inspects shard loads and migrates hot key ranges.
+
+    With a :class:`~repro.cluster.elastic.ReconfigPlanner` attached
+    (:meth:`attach_planner`, done by ``ClusterConfig.build`` when elastic
+    is armed), the balancer is one cost-aware policy *inside* the
+    planner: every proposed vnode move is submitted as a
+    :class:`~repro.cluster.elastic.TopologyDelta` with the hot shard's
+    excess cycles as the projected straggler savings, and a plan the
+    constraint models reject (most often ``migration_cost``: the move
+    would not pay for itself) becomes a counted no-op instead of a
+    migration.
+    """
 
     def __init__(
         self,
@@ -51,6 +62,7 @@ class HotShardBalancer:
         check_every: int = 2048,
         imbalance_threshold: float = 1.5,
         min_window_ops: int = 256,
+        planner=None,
     ):
         if imbalance_threshold <= 1.0:
             raise ValueError("imbalance_threshold must exceed 1.0")
@@ -58,11 +70,18 @@ class HotShardBalancer:
         self.check_every = check_every
         self.imbalance_threshold = imbalance_threshold
         self.min_window_ops = min_window_ops
+        self.planner = planner
+        #: Moves the planner's constraint models refused (no-ops).
+        self.plans_rejected = 0
         self.history: List[MigrationReport] = []
         self._ops_since_check = 0
         self._window_ops = 0
         for shard in coordinator.shard_list():
             shard.mark_load()
+
+    def attach_planner(self, planner) -> None:
+        """Route every future move proposal through ``planner``."""
+        self.planner = planner
 
     # -- driving ------------------------------------------------------------------
 
@@ -94,9 +113,30 @@ class HotShardBalancer:
         counts = ring.vnode_counts()
         avg_count = sum(counts.values()) / len(counts)
         # Halve the hot shard's vnode surplus each round: geometric
-        # convergence without over-shooting on one noisy window.
+        # convergence without over-shooting on one noisy window.  No
+        # surplus means the heat is key-level (one whale key), which no
+        # vnode shuffle can fix: moving an arc anyway just churns keys,
+        # so the no-surplus round is a no-op.
         surplus = counts[hot.shard_id] - avg_count
-        to_move = max(1, int(surplus // 2)) if surplus > 0 else 1
+        if surplus <= 0:
+            return None
+        to_move = max(1, int(surplus // 2))
+        if self.planner is not None:
+            # The cost-aware gate: a move must project to pay for itself
+            # in straggler savings (the hot shard's excess cycles this
+            # window) before any key crosses an enclave boundary.
+            from repro.errors import PlanRejectedError
+
+            from repro.cluster.elastic import TopologyDelta
+
+            delta = TopologyDelta(
+                vnode_moves=((hot.shard_id, cold.shard_id, to_move),))
+            savings = loads[hot.shard_id] - mean
+            try:
+                self.planner.plan(delta, projected_savings=savings)
+            except PlanRejectedError:
+                self.plans_rejected += 1
+                return None
         moved = ring.move_vnodes(hot.shard_id, cold.shard_id, to_move)
         if not moved:
             return None

@@ -111,6 +111,12 @@ class ClusterConfig:
     overload: Optional[OverloadConfig] = None
     durability: Optional[DurabilityConfig] = None
     tenancy: Optional[TenancyConfig] = None
+    #: EPC headroom for elastic scale-out: the reconfiguration planner
+    #: budgets the cluster's EPC envelope for up to this many shards, so
+    #: live adds up to ``max_shards`` pass the ``epc_budget`` model.
+    #: None provisions exactly ``n_shards`` — the envelope is fully
+    #: consumed at build and the planner refuses every add.
+    max_shards: Optional[int] = None
     #: Extra AriaConfig field overrides applied to every shard store
     #: (``value_hint``, ``crypto_backend``, ...), exactly the ``**kwargs``
     #: tail of the old factories.
@@ -135,6 +141,10 @@ class ClusterConfig:
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, not {self.workers}")
+        if self.max_shards is not None and self.max_shards < self.n_shards:
+            raise ConfigurationError(
+                f"max_shards ({self.max_shards}) must be >= n_shards "
+                f"({self.n_shards})")
 
     # -- construction helpers -----------------------------------------------------
 
@@ -211,6 +221,56 @@ class ClusterConfig:
                 overrides["tenant_quotas"] = quotas
         return overrides
 
+    def per_enclave_epc_bytes(self) -> int:
+        """The EPC carve each enclave gets under this config's build path.
+
+        Mirrors the builders exactly: replica-group builds divide the
+        scaled envelope by ``n_shards * replication``; plain builds clamp
+        the scaled envelope at 4096 bytes/shard first (the legacy
+        ``build_cluster`` formula), then divide by ``n_shards``.
+        """
+        from repro.cluster.shard import MIN_SHARD_EPC_BYTES
+
+        if self.replication > 1 or self.durability is not None:
+            return max(MIN_SHARD_EPC_BYTES,
+                       self.cluster_epc_bytes // self.scale
+                       // (self.n_shards * self.replication))
+        scaled = max(MIN_SHARD_EPC_BYTES * self.n_shards,
+                     self.cluster_epc_bytes // self.scale)
+        return scaled // self.n_shards
+
+    def elastic_spec(self, *, durability_factory=None):
+        """The :class:`~repro.cluster.elastic.ShardSpec` this config implies.
+
+        New shards are provisioned exactly like the built ones (same EPC
+        carve, capacity, index, workers, override tail), and the
+        planner's EPC envelope covers ``max_shards`` shards — leave
+        ``max_shards`` unset and the envelope is already fully consumed,
+        so the ``epc_budget`` model rejects every add.
+        """
+        from repro.cluster.elastic import ShardSpec
+        from repro.cluster.shard import resolve_workers
+
+        overrides = self.resolved_shard_overrides()
+        fault_plan = overrides.pop("fault_plan", None)
+        value_hint = overrides.pop("value_hint", 16)
+        per_enclave = self.per_enclave_epc_bytes()
+        budget_shards = self.max_shards if self.max_shards is not None \
+            else self.n_shards
+        return ShardSpec(
+            epc_bytes=per_enclave,
+            capacity_keys=self.n_keys,
+            cluster_epc_bytes=per_enclave * self.replication * budget_shards,
+            index=self.index,
+            seed=self.seed,
+            value_hint=value_hint,
+            workers=resolve_workers(self.workers),
+            replication=self.replication,
+            shard_overrides=overrides,
+            fault_plan=fault_plan,
+            durability_factory=durability_factory,
+        )
+
     # -- the build path -----------------------------------------------------------
 
     def build(self, *, clock: Callable[[], float] = time.monotonic):
@@ -255,12 +315,33 @@ class ClusterConfig:
                 coordinator.enable_tenancy(self.tenancy, clock=clock)
             if self.durability is not None:
                 self._attach_durability(coordinator)
+            self._attach_elastic(coordinator)
         except BaseException:
             # Arming failed (e.g. rollback detected on restore): release
             # whatever the backend spawned before surfacing the refusal.
             coordinator.close()
             raise
         return coordinator
+
+    def _attach_elastic(self, coordinator) -> None:
+        """Arm the reconfiguration engine (a no-op until a plan begins).
+
+        Idle, the engine adds nothing to the request path — no meter is
+        charged, no ring is touched — so an armed-but-unused cluster
+        stays bit-identical to a pre-elastic one on every simulated
+        column.
+        """
+        from repro.cluster.elastic import ElasticCluster, ReconfigPlanner
+
+        spec = self.elastic_spec(
+            durability_factory=getattr(coordinator, "_durability_factory",
+                                       None))
+        planner = ReconfigPlanner(coordinator, spec)
+        vnodes = self.vnodes if isinstance(self.vnodes, int) \
+            else DEFAULT_VNODES
+        coordinator.attach_elastic(
+            ElasticCluster(coordinator, spec, planner=planner,
+                           vnodes=vnodes))
 
     def _attach_durability(self, coordinator) -> None:
         from repro.cluster.health import HealthMonitor
@@ -278,6 +359,19 @@ class ClusterConfig:
         attach_cluster_durability(coordinator, disk, counters,
                                   seed=self.seed,
                                   epoch_every=dur.epoch_every)
+
+        def durability_factory(group):
+            # Mints a sealed snapshot + WAL epoch sidecar for a shard the
+            # elastic engine adds later, on the same disk and counter
+            # service as the built shards — the planner's
+            # durability-continuity model requires exactly this.
+            from repro.persist import attach_partition_durability
+
+            return attach_partition_durability(
+                group, disk, counters,
+                seed=self.seed, epoch_every=dur.epoch_every)
+
+        coordinator._durability_factory = durability_factory
         restored = {}
         if dur.restore:
             restored = restore_cluster_from_storage(coordinator)

@@ -179,6 +179,38 @@ class _TenancyState:
                                          for t in config.tenants}
         self.shed: Dict[str, int] = {t.tenant_id: 0 for t in config.tenants}
         self.unknown_shed = 0
+        #: Roster edits applied live through :meth:`repartition`.
+        self.repartitions = 0
+
+    def repartition(self, config: TenancyConfig) -> None:
+        """Adopt a new roster in place (ARCHITECTURE §16's follow-on).
+
+        Surviving tenants keep their admission history *and* their bucket
+        deficit: a tenant whose rate changed gets a new bucket primed with
+        its old fill **fraction**, so a roster edit cannot be used to
+        instantly refill a drained whale.  Departed tenants' buckets,
+        prefixes and counters are dropped; new tenants start fresh.
+        """
+        old_buckets = self.buckets
+        self.config = config
+        self.registry = TenantRegistry(config.tenants)
+        self.buckets = {}
+        self.prefixes = {}
+        for tenant in config.tenants:
+            self.prefixes[tenant.tenant_id] = tenant.prefix
+            if tenant.rate is None:
+                continue
+            bucket = TokenBucket(tenant.rate, tenant.burst, self.clock)
+            old = old_buckets.get(tenant.tenant_id)
+            if old is not None:
+                fraction = max(0.0, min(1.0, old.available / old.burst))
+                bucket._tokens = fraction * bucket.burst
+            self.buckets[tenant.tenant_id] = bucket
+        self.admitted = {t.tenant_id: self.admitted.get(t.tenant_id, 0)
+                         for t in config.tenants}
+        self.shed = {t.tenant_id: self.shed.get(t.tenant_id, 0)
+                     for t in config.tenants}
+        self.repartitions += 1
 
     def try_admit(self, tenant: str) -> Optional[Response]:
         """One request's admission verdict: ``None`` or a shed response.
@@ -216,6 +248,7 @@ class _TenancyState:
             "admitted": {t: n for t, n in sorted(self.admitted.items())},
             "shed": {t: n for t, n in sorted(self.shed.items())},
             "unknown_shed": self.unknown_shed,
+            "repartitions": self.repartitions,
         }
 
 
@@ -256,6 +289,8 @@ class ClusterCoordinator:
         #: Tenancy layer (per-tenant buckets + key namespaces); None until
         #: :meth:`enable_tenancy`.
         self._tenancy: Optional[_TenancyState] = None
+        #: Elastic reconfiguration engine; None until :meth:`attach_elastic`.
+        self._elastic = None
 
     # -- wiring -------------------------------------------------------------------
 
@@ -305,6 +340,104 @@ class ClusterCoordinator:
     def attach_health_monitor(self, monitor) -> None:
         """Let a HealthMonitor inspect replicas after every executed batch."""
         self._health_monitor = monitor
+
+    def attach_elastic(self, elastic) -> None:
+        """Let the reconfiguration engine advance after every batch.
+
+        The engine's :meth:`~repro.cluster.elastic.ElasticCluster
+        .after_execute` hook runs right after responses settle — it
+        dual-applies acked writes landing in moving key ranges and copies
+        one bounded migration batch, so topology changes make progress
+        interleaved with serving.
+        """
+        self._elastic = elastic
+
+    @property
+    def elastic(self):
+        return self._elastic
+
+    # -- live topology (driven by the elastic engine at cutover) ------------------
+
+    def admit_shard(self, shard, *, ring: HashRing) -> None:
+        """Cutover for an add: the shard and the new ring land atomically.
+
+        ``ring`` must be the target ring (old membership plus this shard);
+        admitting a shard the ring doesn't route to — or swapping a ring
+        that routes to shards the coordinator doesn't hold — would strand
+        keys, so membership is revalidated here like in ``__init__``.
+        """
+        if shard.shard_id in self.shards:
+            raise ValueError(f"shard {shard.shard_id!r} already admitted")
+        if set(ring.shards()) != set(self.shards) | {shard.shard_id}:
+            raise ValueError("ring membership does not match the shard set "
+                             "after admission")
+        self.shards[shard.shard_id] = shard
+        self.ring = ring
+
+    def retire_shard(self, shard_id: str, *, ring: HashRing) -> Shard:
+        """Cutover for a remove: unroute and detach the shard atomically.
+
+        Returns the detached shard — still open, still holding its copy
+        of the migrated keys — so the caller (the elastic engine's RETIRE
+        stage) can release its enclaves *after* the swap is visible.
+        """
+        if shard_id not in self.shards:
+            raise ValueError(f"unknown shard {shard_id!r}")
+        if set(ring.shards()) != set(self.shards) - {shard_id}:
+            raise ValueError("ring membership does not match the shard set "
+                             "after retirement")
+        shard = self.shards.pop(shard_id)
+        self.ring = ring
+        if self._overload is not None:
+            self._overload.breakers.pop(shard_id, None)
+        return shard
+
+    def on_topology_change(self) -> None:
+        """Re-partition roster-derived state after a membership change.
+
+        Pushes the live tenant quota map to every member shard so cache
+        partitions agree across old and new members (§16's follow-on:
+        no stale static fractions after topology changes).
+        """
+        if self._tenancy is not None:
+            quotas = self._tenancy.config.cache_quota_map()
+            self._push_tenant_quotas(quotas or None)
+
+    def retarget_tenancy(self, config: TenancyConfig) -> "_TenancyState":
+        """Apply a roster change live (§16's follow-on, the roster half).
+
+        Admission buckets re-partition in place — surviving tenants keep
+        their deficit, departed tenants drop, new tenants start fresh —
+        and the new cache quota map is pushed to every shard enclave
+        through the trusted path, replacing the build-time fractions.
+        """
+        if self._tenancy is None:
+            state = self.enable_tenancy(config)
+        else:
+            self._tenancy.repartition(config)
+            state = self._tenancy
+        self._push_tenant_quotas(config.cache_quota_map() or None)
+        return state
+
+    def _push_tenant_quotas(self, quotas) -> int:
+        """Retarget every live enclave's cache quotas; returns the count.
+
+        Best-effort on purpose: a crashed or partitioned replica misses
+        the push but rebuilds from its (stale) spawn spec, and the next
+        :meth:`on_topology_change` or roster edit re-pushes.
+        """
+        pushed = 0
+        for shard in self.shard_list():
+            replicas = getattr(shard, "replicas", None)
+            targets = ([r.shard for r in replicas]
+                       if replicas is not None else [shard])
+            for target in targets:
+                try:
+                    target.store.retarget_tenant_quotas(quotas)
+                    pushed += 1
+                except AriaError:
+                    continue
+        return pushed
 
     def shard_for(self, key: bytes) -> Shard:
         return self.shards[self.ring.route(key)]
@@ -383,6 +516,10 @@ class ClusterCoordinator:
                     self._dispatch(shard_id, bucket, requests, deadline))
         for flight in inflight:
             self._collect(flight, responses, deadline)
+        if self._elastic is not None:
+            # After responses settle: acked writes into moving ranges are
+            # dual-applied and one bounded migration batch advances.
+            self._elastic.after_execute(requests, responses)
         self.ops_routed += len(requests)
         if self._balancer is not None:
             self._balancer.observe(len(requests))
@@ -597,6 +734,8 @@ class ClusterCoordinator:
             if denials:
                 tenancy["cache_evict_denials"] = denials
             summary["tenancy"] = tenancy
+        if self._elastic is not None:
+            summary["elastic"] = self._elastic.stats()
         return Response(Status.OK,
                         json.dumps(summary, sort_keys=True).encode())
 
@@ -686,8 +825,10 @@ class ClusterCoordinator:
             else None
         tenancy = self._tenancy.stats if self._tenancy is not None \
             else None
+        elastic = self._elastic.stats if self._elastic is not None \
+            else None
         return ClusterStats(self.shard_list(), overload=overload,
-                            tenancy=tenancy)
+                            tenancy=tenancy, elastic=elastic)
 
     # -- lifecycle ----------------------------------------------------------------
 

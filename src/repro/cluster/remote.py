@@ -72,6 +72,8 @@ def dispatch_shard_rpc(shard, cmd: str, args: tuple):
         return shard.stats()
     if cmd == "sync":
         return None  # the reply's piggybacked meter is the whole point
+    if cmd == "retarget_quotas":
+        return store.retarget_tenant_quotas(args[0])
     if cmd == "plant_corruption":
         from repro.cluster.faults import plant_corruption
 
@@ -251,6 +253,11 @@ class RemoteStore:
         """Attack-surface hook: tamper a record inside the remote host's
         untrusted memory (see ``repro.attacks.scenarios``)."""
         self._handle._call("corrupt_in_place", (key,))
+
+    def retarget_tenant_quotas(self, quotas) -> None:
+        """Re-partition the remote enclave's cache quotas live (§16)."""
+        self._handle._call("retarget_quotas",
+                           (dict(quotas) if quotas else None,))
 
     @property
     def config(self):

@@ -129,6 +129,20 @@ class HashRing:
             self._rebuild()
         return len(movable)
 
+    def copy(self) -> "HashRing":
+        """An independent clone with identical point ownership.
+
+        Point-for-point, not count-for-count: vnodes moved by
+        :meth:`move_vnodes` keep their (reassigned) positions, so a clone
+        routes every key exactly like the original.  The reconfiguration
+        engine plans against a clone (the *target* ring) while the
+        original keeps serving, then swaps atomically at cutover.
+        """
+        clone = HashRing.__new__(HashRing)
+        clone._owner = dict(self._owner)
+        clone._rebuild()
+        return clone
+
     # -- routing ----------------------------------------------------------------
 
     def route(self, key: bytes) -> str:

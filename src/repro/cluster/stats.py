@@ -26,11 +26,16 @@ interchangeable, which is what lets metering cross process boundaries.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Iterable, List
 
 from repro.sgx.meter import MeterSnapshot
 
 _OP_EVENTS = ("op_get", "op_put", "op_delete")
+
+#: Baseline for a shard admitted mid-window by the elastic engine: its
+#: whole meter is new work, so it deltas against zero.
+_ZERO_BASELINE = MeterSnapshot(cycles=0.0, events=Counter())
 
 
 class ClusterStats:
@@ -43,15 +48,19 @@ class ClusterStats:
     carries it under ``"overload"`` so operators see shedding, breaker
     trips and brownout time next to throughput.  ``tenancy`` works the
     same way for the multi-tenant front door's per-principal
-    admitted/shed counters (``"tenancy"`` row).
+    admitted/shed counters (``"tenancy"`` row), and ``elastic`` for the
+    reconfiguration engine's migration progress/abort counters
+    (``"elastic"`` row).
     """
 
-    def __init__(self, shards: Iterable, *, overload=None, tenancy=None):
+    def __init__(self, shards: Iterable, *, overload=None, tenancy=None,
+                 elastic=None):
         self._shards: List = list(shards)
         if not self._shards:
             raise ValueError("no shards to aggregate")
         self._overload = overload
         self._tenancy = tenancy
+        self._elastic = elastic
         self._baselines: Dict[str, MeterSnapshot] = {}
         self.rebaseline()
 
@@ -64,7 +73,8 @@ class ClusterStats:
     # -- internals ----------------------------------------------------------------
 
     def _delta(self, shard) -> MeterSnapshot:
-        return self._baselines[shard.shard_id].delta(shard.meter.snapshot())
+        baseline = self._baselines.get(shard.shard_id, _ZERO_BASELINE)
+        return baseline.delta(shard.meter.snapshot())
 
     @staticmethod
     def _ops(delta: MeterSnapshot) -> int:
@@ -203,4 +213,8 @@ class ClusterStats:
             cluster["tenancy"]["window_evict_denied"] = sum(
                 self._delta(s).events["tenant_evict_denied"]
                 for s in self._shards)
+        if self._elastic is not None:
+            counters = self._elastic() if callable(self._elastic) \
+                else self._elastic
+            cluster["elastic"] = dict(counters)
         return {"shards": per_shard, "cluster": cluster}

@@ -215,6 +215,17 @@ class CounterManager:
         for area in self._areas:
             area.cache.set_owner(owner)
 
+    def retarget_tenant_quotas(self, quotas: Optional[dict]) -> None:
+        """Re-partition every area's Secure Cache for a new quota map.
+
+        Future areas (counter expansion, restore) inherit the new map too:
+        ``_cache_kwargs`` is what every ``SecureCache`` construction reads.
+        """
+        self._cache_kwargs["tenant_quotas"] = quotas
+        self._tenant_armed = quotas is not None
+        for area in self._areas:
+            area.cache.retarget_quotas(quotas)
+
     def read_counter(self, red_ptr: int) -> bytes:
         area, local_id = self._split(red_ptr)
         return area.cache.read_counter(local_id)

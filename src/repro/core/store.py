@@ -130,6 +130,18 @@ class AriaStore:
         from repro.core.tenant import owner_token_of
         self.counters.set_tenant_owner(owner_token_of(key))
 
+    def retarget_tenant_quotas(self, quotas: "dict | None") -> None:
+        """Adopt a new tenant quota map live (§16's follow-on).
+
+        Re-partitions every Secure Cache in place — cached entries and
+        their ownership survive — and updates the config so sealed
+        snapshots and spawn-spec rebuilds carry the new roster forward.
+        ``None`` disarms partitioning entirely.
+        """
+        self.config.tenant_quotas = dict(quotas) if quotas else None
+        self.counters.retarget_tenant_quotas(self.config.tenant_quotas)
+        self._tenant_armed = self.config.tenant_quotas is not None
+
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or update a KV pair (Section V-D Put walkthrough)."""
         if self._tenant_armed:

@@ -74,6 +74,25 @@ class UnknownFaultKindError(ConfigurationError, ValueError):
     """
 
 
+class PlanRejectedError(ConfigurationError):
+    """A proposed topology change violated a reconfiguration constraint.
+
+    Raised by the :class:`~repro.cluster.elastic.ReconfigPlanner` when a
+    proposed delta (shard add/remove, replication change, vnode moves)
+    fails one of its cross-layer constraint models *before* anything is
+    applied — the model-checked half of elastic scale-out.  ``constraint``
+    names the violated model (``"epc_budget"``, ``"replication_floor"``,
+    ``"durability_continuity"``, ``"tenant_quota"``, ``"migration_cost"``,
+    or ``"topology"`` for structurally invalid deltas), so operators and
+    tests can assert on *which* model refused, not just that one did.
+    """
+
+    def __init__(self, message: str, *, constraint: str = "topology"):
+        super().__init__(message)
+        #: The violated constraint model's name.
+        self.constraint = constraint
+
+
 class UnknownBackendError(ConfigurationError, ValueError):
     """A shard-backend name did not resolve to a registered backend.
 

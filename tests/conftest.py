@@ -36,6 +36,7 @@ from repro.cluster import (
 # gain nothing from a second run.
 _BACKEND_MODULES = {
     "test_cluster",
+    "test_cluster_elastic",
     "test_cluster_faults",
     "test_cluster_overload",
     "test_cluster_replication",
@@ -52,6 +53,7 @@ _BACKEND_MODULES = {
 # under them buys no extra coverage for the shard hop.
 _SOCKET_MODULES = {
     "test_cluster",
+    "test_cluster_elastic",
     "test_cluster_faults",
     "test_cluster_overload",
     "test_cluster_replication",
